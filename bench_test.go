@@ -1,0 +1,375 @@
+// Package rtmlab's benchmark harness: one testing.B benchmark per figure
+// and table of the paper, at CI-friendly scale. Each benchmark reports
+// the figure's headline metric (speedup, abort rate, normalized time) via
+// b.ReportMetric, so `go test -bench=.` regenerates a compact view of the
+// whole evaluation. For figure-quality sweeps use `go run ./cmd/rtmlab`.
+package rtmlab
+
+import (
+	"testing"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/htm"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/sim"
+	"rtmlab/internal/stamp"
+	"rtmlab/internal/tm"
+)
+
+func mkSys(b tm.Backend) *tm.System { return tm.NewSystem(arch.Haswell(), b) }
+
+// --- Fig. 1: capacity ------------------------------------------------------
+
+func capacityProbe(nLines int, writes bool) bool {
+	cfg := arch.Haswell()
+	cfg.TSX.TickPeriod = 0
+	h := mem.New(cfg)
+	sys := htm.NewSystem(cfg, h, nil)
+	committed := false
+	sim.Run(cfg, h, 1, 1, nil, func(p *sim.Proc) {
+		tx := sys.Attach(p)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, is := r.(htm.Abort); !is {
+						panic(r)
+					}
+				}
+			}()
+			sys.Begin(tx)
+			for i := 0; i < nLines; i++ {
+				addr := uint64(i) * arch.LineSize
+				if writes {
+					tx.Store(addr, 1)
+				} else {
+					tx.Load(addr)
+				}
+			}
+			tx.Commit()
+			committed = true
+		}()
+	})
+	return committed
+}
+
+func BenchmarkFig1Capacity(b *testing.B) {
+	writeWall, readWall := 0, 0
+	for i := 0; i < b.N; i++ {
+		// Probe both walls: the largest committing size must be exactly
+		// the L1/L3 line counts.
+		writeWall, readWall = 0, 0
+		if capacityProbe(512, true) && !capacityProbe(513, true) {
+			writeWall = 512
+		}
+		if capacityProbe(131072, false) && !capacityProbe(131073, false) {
+			readWall = 131072
+		}
+	}
+	b.ReportMetric(float64(writeWall), "write-wall-lines")
+	b.ReportMetric(float64(readWall), "read-wall-lines")
+}
+
+// --- Fig. 2: duration ------------------------------------------------------
+
+func BenchmarkFig2Duration(b *testing.B) {
+	cfg := arch.Haswell()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		h := mem.New(cfg)
+		sys := htm.NewSystem(cfg, h, nil)
+		aborts, trials := 0, 8
+		sim.Run(cfg, h, 1, 1, nil, func(p *sim.Proc) {
+			tx := sys.Attach(p)
+			for t := 0; t < trials; t++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, is := r.(htm.Abort); is {
+								aborts++
+								return
+							}
+							panic(r)
+						}
+					}()
+					sys.Begin(tx)
+					for k := 0; k < 2_000_000; k++ { // ~10M cycles
+						tx.Load(uint64(k%8) * arch.WordSize)
+						p.AddCycles(1)
+					}
+					tx.Commit()
+				}()
+			}
+		})
+		rate = float64(aborts) / float64(trials)
+	}
+	b.ReportMetric(rate, "abort-rate@10Mcyc")
+}
+
+// --- Table I: queue-pop overhead -------------------------------------------
+
+func BenchmarkTable1Overhead(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		backend tm.Backend
+		threads int
+	}{
+		{"lock-1t", tm.Lock, 1},
+		{"rtm-1t", tm.HTMBare, 1},
+		{"lock-4t", tm.Lock, 4},
+		{"rtm-4t", tm.HTMBare, 4},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := mkSys(tc.backend)
+				var q struct{ base uint64 }
+				_ = q
+				sys.Run(1, 1, func(c *tm.Ctx) {
+					for k := 0; k < 2000; k++ {
+						c.Store(1<<20+uint64(k)*arch.WordSize, int64(k))
+					}
+				})
+				sys.Run(tc.threads, 2, func(c *tm.Ctx) {
+					for k := 0; k < 500; k++ {
+						addr := 1<<20 + uint64(k)*arch.WordSize
+						c.Atomic(func(t tm.Tx) { t.Store(addr, t.Load(addr)+1) })
+					}
+				})
+			}
+		})
+	}
+}
+
+// --- Figs. 3-9: Eigenbench sweeps -------------------------------------------
+
+func eigenBench(b *testing.B, p eigenbench.Params, backend tm.Backend) {
+	b.Helper()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		seq := eigenbench.Run(mkSys(tm.Seq), p.Sequential(), 1)
+		r := eigenbench.Run(mkSys(backend), p, 1)
+		speedup = float64(seq.Cycles) / float64(r.Cycles)
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+func smallParams(ws int) eigenbench.Params {
+	p := eigenbench.Default(ws)
+	p.Loops = 150
+	return p
+}
+
+func BenchmarkFig3WorkingSet(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		ws   int
+		sys  tm.Backend
+	}{
+		{"16KB-rtm", 16 << 10, tm.HTM},
+		{"16KB-stm", 16 << 10, tm.STM},
+		{"4MB-rtm", 4 << 20, tm.HTM},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			p := smallParams(tc.ws)
+			if tc.ws >= 4<<20 {
+				p.Warmup = 2 * p.MildWords / p.TxLen()
+			}
+			eigenBench(b, p, tc.sys)
+		})
+	}
+}
+
+func BenchmarkFig4TxLen(b *testing.B) {
+	for _, n := range []int{10, 100, 520} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			p := smallParams(256 << 10)
+			p.W2 = n / 10
+			p.R2 = n - p.W2
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+func BenchmarkFig5Pollution(b *testing.B) {
+	for _, w := range []int{0, 40, 100} {
+		w := w
+		b.Run(itoa(w), func(b *testing.B) {
+			p := smallParams(256 << 10)
+			p.W2 = w
+			p.R2 = 100 - w
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+func BenchmarkFig6Locality(b *testing.B) {
+	for _, loc := range []float64{0, 0.9} {
+		loc := loc
+		b.Run(f1(loc), func(b *testing.B) {
+			p := smallParams(256 << 10)
+			p.Locality = loc
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+func BenchmarkFig7Contention(b *testing.B) {
+	for _, hot := range []int{3000, 24} {
+		hot := hot
+		b.Run(itoa(hot), func(b *testing.B) {
+			p := smallParams(64 << 10)
+			p.R1, p.W1 = 9, 1
+			p.R2, p.W2 = 81, 9
+			p.HotWords = hot
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+func BenchmarkFig8Predominance(b *testing.B) {
+	for _, pred := range []float64{0.125, 0.875} {
+		pred := pred
+		b.Run(f1(pred), func(b *testing.B) {
+			p := smallParams(256 << 10)
+			p.ColdWords = p.MildWords
+			outside := float64(p.TxLen()) * (1 - pred) / pred
+			p.R3, p.W3 = int(outside*0.9), int(outside*0.1)
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+func BenchmarkFig9Concurrency(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			p := smallParams(16 << 10)
+			p.Threads = n
+			eigenBench(b, p, tm.HTM)
+		})
+	}
+}
+
+// --- Figs. 10-12: STAMP ------------------------------------------------------
+
+func BenchmarkFig10Stamp(b *testing.B) {
+	apps := []struct {
+		name string
+		mk   func() stamp.Benchmark
+	}{
+		{"bayes", func() stamp.Benchmark { return stamp.NewBayes(stamp.Test) }},
+		{"genome", func() stamp.Benchmark { return stamp.NewGenome(stamp.Test) }},
+		{"intruder", func() stamp.Benchmark { return stamp.NewIntruder(stamp.Test, false) }},
+		{"kmeans", func() stamp.Benchmark { return stamp.NewKMeans(stamp.Test) }},
+		{"labyrinth", func() stamp.Benchmark { return stamp.NewLabyrinth(stamp.Test) }},
+		{"ssca2", func() stamp.Benchmark { return stamp.NewSSCA2(stamp.Test) }},
+		{"vacation", func() stamp.Benchmark { return stamp.NewVacation(stamp.Test, false) }},
+		{"yada", func() stamp.Benchmark { return stamp.NewYada(stamp.Test) }},
+	}
+	for _, app := range apps {
+		app := app
+		for _, backend := range []tm.Backend{tm.HTM, tm.STM} {
+			backend := backend
+			b.Run(app.name+"-"+backend.String(), func(b *testing.B) {
+				var norm, energy, abrt float64
+				for i := 0; i < b.N; i++ {
+					seq, err := stamp.Run(app.mk(), tm.Seq, 1, 42, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := stamp.Run(app.mk(), backend, 4, 42, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					norm = float64(res.Cycles) / float64(seq.Cycles)
+					energy = res.EnergyJ / seq.EnergyJ // fig11
+					abrt = res.AbortRate               // fig12 input
+				}
+				b.ReportMetric(norm, "norm-time-4t")
+				b.ReportMetric(energy, "norm-energy-4t")
+				if backend == tm.HTM {
+					b.ReportMetric(abrt, "abort-rate")
+				}
+			})
+		}
+	}
+}
+
+// --- Tables IV & V: case studies ---------------------------------------------
+
+func caseStudyBench(b *testing.B, mkBase, mkOpt func() stamp.Benchmark, optMod func(*tm.System)) {
+	b.Helper()
+	var reduc float64
+	for i := 0; i < b.N; i++ {
+		base, err := stamp.Run(mkBase(), tm.HTM, 4, 42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := stamp.Run(mkOpt(), tm.HTM, 4, 42, optMod)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduc = 100 * (1 - float64(opt.Cycles)/float64(base.Cycles))
+	}
+	b.ReportMetric(reduc, "%time-reduction")
+}
+
+func BenchmarkTable4Intruder(b *testing.B) {
+	caseStudyBench(b,
+		func() stamp.Benchmark { return stamp.NewIntruder(stamp.Test, false) },
+		func() stamp.Benchmark { return stamp.NewIntruder(stamp.Test, true) },
+		nil)
+}
+
+// BenchmarkHybridFallback quantifies the extension study: labyrinth under
+// the Algorithm-1 lock fallback vs the TinySTM fallback.
+func BenchmarkHybridFallback(b *testing.B) {
+	for _, backend := range []tm.Backend{tm.HTM, tm.Hybrid} {
+		backend := backend
+		b.Run(backend.String(), func(b *testing.B) {
+			var norm float64
+			for i := 0; i < b.N; i++ {
+				seq, err := stamp.Run(stamp.NewLabyrinth(stamp.Test), tm.Seq, 1, 42, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := stamp.Run(stamp.NewLabyrinth(stamp.Test), backend, 4, 42, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = float64(res.Cycles) / float64(seq.Cycles)
+			}
+			b.ReportMetric(norm, "norm-time-4t")
+		})
+	}
+}
+
+func BenchmarkTable5Vacation(b *testing.B) {
+	caseStudyBench(b,
+		func() stamp.Benchmark { return stamp.NewVacation(stamp.Test, false) },
+		func() stamp.Benchmark { return stamp.NewVacation(stamp.Test, true) },
+		func(sys *tm.System) { sys.Heap.PreTouch = true })
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func f1(v float64) string {
+	return itoa(int(v*10)) + "e-1"
+}

@@ -1,0 +1,78 @@
+// Command rtmlab regenerates the figures and tables of "Performance and
+// Energy Analysis of the Restricted Transactional Memory Implementation
+// on Haswell" (Goel et al.) on the simulated machine.
+//
+// Usage:
+//
+//	rtmlab [flags] <experiment>...
+//	rtmlab -list
+//	rtmlab all
+//
+// Experiments: fig1 fig2 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// fig10 (also emits fig11 and fig12) table4 table5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtmlab/internal/harness"
+	"rtmlab/internal/stamp"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", "input scale: test | small | full")
+		seeds  = flag.Int("seeds", 3, "independent runs to average (paper uses 10)")
+		outDir = flag.String("csv", "", "directory for CSV output (empty: none)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	o := harness.Options{Seeds: *seeds, OutDir: *outDir}
+	switch *scale {
+	case "test":
+		o.Scale = stamp.Test
+	case "small":
+		o.Scale = stamp.Small
+	case "full":
+		o.Scale = stamp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	exps := harness.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\nrun `rtmlab -list` for experiment ids, or `rtmlab all`")
+		os.Exit(2)
+	}
+	run := func(id string) bool {
+		for _, e := range exps {
+			if e.ID == id {
+				e.Run(os.Stdout, o)
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range args {
+		if id == "all" {
+			harness.All(os.Stdout, o)
+			continue
+		}
+		if !run(id) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+	}
+}

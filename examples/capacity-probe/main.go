@@ -1,0 +1,107 @@
+// Capacity-probe: interactively explore the RTM capacity envelope the
+// paper measures in Fig. 1 — the L1-bounded write set (512 lines) and the
+// L3-bounded read set (128K lines) — plus the hyper-threading effect of
+// Fig. 9: running a sibling thread on the same core halves the usable
+// write set.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/htm"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/sim"
+)
+
+func attempt(sys *htm.System, tx *htm.Txn, body func()) (cause string, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, is := r.(htm.Abort); is {
+				cause = a.Cause.String()
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	sys.Begin(tx)
+	body()
+	tx.Commit()
+	return "", true
+}
+
+// largest returns the largest n (by binary search) for which a txn
+// touching n lines commits.
+func largest(writes bool, sibling bool) int {
+	cfg := arch.Haswell()
+	cfg.TSX.TickPeriod = 0 // isolate capacity from duration effects
+	lo, hi := 1, cfg.L3.Lines()*2
+	probe := func(n int) bool {
+		h := mem.New(cfg)
+		sys := htm.NewSystem(cfg, h, nil)
+		committed := false
+		threads := 1
+		if sibling {
+			threads = 5 // thread 4 shares core 0 with thread 0
+		}
+		b := sim.NewBarrier(threads)
+		sim.Run(cfg, h, threads, 1, nil, func(p *sim.Proc) {
+			tx := sys.Attach(p)
+			switch p.ID() {
+			case 0:
+				_, committed = attempt(sys, tx, func() {
+					for i := 0; i < n; i++ {
+						addr := uint64(i) * arch.LineSize
+						if writes {
+							tx.Store(addr, 1)
+						} else {
+							tx.Load(addr)
+						}
+					}
+				})
+				b.Wait(p)
+			case 4:
+				// The sibling hyper-thread streams through its own data,
+				// competing for L1 sets.
+				base := uint64(64) << 20
+				for i := 0; i < 4096; i++ {
+					p.Touch(base + uint64(i)*arch.LineSize)
+				}
+				b.Wait(p)
+			default:
+				b.Wait(p)
+			}
+		})
+		return committed
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func main() {
+	ht := flag.Bool("ht", false, "also probe with an active hyper-thread sibling")
+	flag.Parse()
+	cfg := arch.Haswell()
+
+	fmt.Println("probing the RTM capacity envelope (binary search, single attempt per size)...")
+	wr := largest(true, false)
+	fmt.Printf("  write-set: %6d lines commit, %6d abort  (L1 = %d lines)\n",
+		wr, wr+1, cfg.L1.Lines())
+	rd := largest(false, false)
+	fmt.Printf("  read-set:  %6d lines commit, %6d abort  (L3 = %d lines)\n",
+		rd, rd+1, cfg.L3.Lines())
+	if *ht {
+		wrHT := largest(true, true)
+		fmt.Printf("  write-set with busy HT sibling: %d lines (paper Fig. 9: hyper-threading\n", wrHT)
+		fmt.Println("  effectively halves the write-set capacity)")
+	}
+}

@@ -1,0 +1,72 @@
+// Eigenbench-sweep: run a custom Eigenbench configuration under RTM and
+// TinySTM and print speedup, energy efficiency and abort rate versus the
+// sequential baseline. All seven characteristics of the paper's Table II
+// are exposed as flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/tm"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 4, "concurrency (1-8; >4 uses hyper-threads)")
+		ws       = flag.Int("ws", 16<<10, "working-set size per thread in bytes")
+		txlen    = flag.Int("txlen", 100, "memory accesses per transaction")
+		pollute  = flag.Float64("pollution", 0.1, "fraction of writes [0,1]")
+		locality = flag.Float64("locality", 0, "P(repeat a recent address) [0,1]")
+		hot      = flag.Int("hot", 0, "shared hot-array words (0 = no contention)")
+		hotAcc   = flag.Int("hotacc", 10, "hot accesses per txn when -hot > 0")
+		outside  = flag.Int("outside", 0, "non-transactional accesses per loop (predominance)")
+		loops    = flag.Int("loops", 500, "transactions per thread")
+		seed     = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	wr := int(float64(*txlen)**pollute + 0.5)
+	p := eigenbench.Params{
+		Threads:       *threads,
+		Loops:         *loops,
+		MildWords:     *ws / arch.WordSize,
+		ColdWords:     *ws / arch.WordSize,
+		R2:            *txlen - wr,
+		W2:            wr,
+		R3:            *outside * 9 / 10,
+		W3:            *outside / 10,
+		Locality:      *locality,
+		WorkPerAccess: 4,
+	}
+	if *hot > 0 {
+		p.HotWords = *hot
+		hw := *hotAcc / 10
+		p.R1, p.W1 = *hotAcc-hw, hw
+		if p.R2 >= p.R1 {
+			p.R2 -= p.R1
+		}
+		if p.W2 >= p.W1 {
+			p.W2 -= p.W1
+		}
+	}
+
+	fmt.Printf("eigenbench: threads=%d ws=%dKB txlen=%d pollution=%.2f locality=%.2f",
+		p.Threads, p.WorkingSetBytes()>>10, p.TxLen(), p.Pollution(), *locality)
+	if p.HotWords > 0 {
+		fmt.Printf(" P(conflict)=%.3f", p.ConflictProbability())
+	}
+	fmt.Println()
+
+	mk := func(b tm.Backend) *tm.System { return tm.NewSystem(arch.Haswell(), b) }
+	seq := eigenbench.Run(mk(tm.Seq), p.Sequential(), *seed)
+	fmt.Printf("%-10s %12s %9s %8s %9s\n", "system", "cycles", "speedup", "eff", "abortrate")
+	fmt.Printf("%-10s %12d %9s %8s %9s\n", "seq", seq.Cycles, "1.00", "1.00", "-")
+	for _, b := range []tm.Backend{tm.HTM, tm.STM, tm.Lock} {
+		r := eigenbench.Run(mk(b), p, *seed)
+		fmt.Printf("%-10s %12d %9.2f %8.2f %9.3f\n", b, r.Cycles,
+			float64(seq.Cycles)/float64(r.Cycles), seq.EnergyJ/r.EnergyJ, r.AbortRate)
+	}
+}

@@ -1,0 +1,64 @@
+// Intruder-tuning: the paper's §V-A case study. Runs STAMP's intruder in
+// its baseline form (fragments kept sorted inside the reassembly
+// transaction) and the RTM-friendly form (O(1) prepend, deferred private
+// sort) and prints the Table-IV statistics: execution time, cycles per
+// transaction, and the abort breakdown of the main transaction.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rtmlab/internal/stamp"
+	"rtmlab/internal/tm"
+)
+
+func main() {
+	fmt.Println("intruder: baseline vs RTM-friendly reassembly (paper §V-A / Table IV)")
+	fmt.Printf("%-8s %-8s %10s %8s %9s %10s %7s %7s %7s\n",
+		"variant", "threads", "Mcycles", "%reduc", "speedup", "cyc/tx", "abrt", "%mem", "%other")
+	base := map[int]uint64{}
+	for _, optimized := range []bool{false, true} {
+		name := "base"
+		if optimized {
+			name = "opt"
+		}
+		var oneThread uint64
+		for _, n := range []int{1, 2, 4} {
+			res, err := stamp.Run(stamp.NewIntruder(stamp.Small, optimized), tm.HTM, n, 42, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "validation failed: %v\n", err)
+				os.Exit(1)
+			}
+			if n == 1 {
+				oneThread = res.Cycles
+			}
+			if !optimized {
+				base[n] = res.Cycles
+			}
+			reduc := "-"
+			if optimized {
+				reduc = fmt.Sprintf("%.0f%%", 100*(1-float64(res.Cycles)/float64(base[n])))
+			}
+			cycTx := uint64(0)
+			if c := res.Counters["site:reassembly:commits"]; c > 0 {
+				cycTx = res.Counters["site:reassembly:cycles"] / c
+			}
+			siteAborts := res.Counters["site:reassembly:aborts"]
+			mem := res.Counters["site:reassembly:abort.conflict"] +
+				res.Counters["site:reassembly:abort.read-capacity"] +
+				res.Counters["site:reassembly:abort.write-capacity"]
+			memPct, otherPct := 0.0, 0.0
+			if siteAborts > 0 {
+				memPct = 100 * float64(mem) / float64(siteAborts)
+				otherPct = 100 - memPct
+			}
+			fmt.Printf("%-8s %-8d %10d %8s %9.2f %10d %7.2f %6.0f%% %6.0f%%\n",
+				name, n, res.Cycles/1e6, reduc,
+				float64(oneThread)/float64(res.Cycles), cycTx, res.AbortRate,
+				memPct, otherPct)
+		}
+	}
+	fmt.Println("\npaper Table IV: the optimization cuts execution time ~45-50% at every thread")
+	fmt.Println("count, halves the transaction length (~1800 -> ~900 cycles) and the abort rate.")
+}

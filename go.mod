@@ -1,0 +1,3 @@
+module rtmlab
+
+go 1.22

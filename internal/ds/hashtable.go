@@ -1,0 +1,99 @@
+package ds
+
+// HashTable is STAMP's chained hash table (lib/hashtable.c) with a fixed
+// bucket count, mapping int64 keys to int64 data. Each bucket is a sorted
+// ds.List.
+//
+// Layout: [nBuckets, bucketHead0, bucketHead1, ...] where each bucket head
+// is the sentinel node address of a List.
+type HashTable struct {
+	Base     uint64
+	nBuckets int
+}
+
+const (
+	htN    = 0
+	htData = 1
+)
+
+// NewHashTable allocates a table with nBuckets chains.
+func NewHashTable(m Mem, al Allocator, nBuckets int) HashTable {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	base := al.AllocAligned(htData + nBuckets)
+	m.Store(w(base, htN), int64(nBuckets))
+	for i := 0; i < nBuckets; i++ {
+		l := NewList(m, al)
+		m.Store(w(base, htData+i), a2i(l.Head))
+	}
+	return HashTable{Base: base, nBuckets: nBuckets}
+}
+
+// LoadHashTable rebuilds a handle from a header address.
+func LoadHashTable(m Mem, base uint64) HashTable {
+	return HashTable{Base: base, nBuckets: int(m.Load(w(base, htN)))}
+}
+
+// hashKey scrambles the key so sequential keys spread over buckets.
+func hashKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (h HashTable) bucket(m Mem, k int64) List {
+	i := int(hashKey(k) % uint64(h.nBuckets))
+	return List{Head: i2a(m.Load(w(h.Base, htData+i)))}
+}
+
+// Insert adds (key, data) if absent, reporting whether it inserted.
+func (h HashTable) Insert(m Mem, al Allocator, k, data int64) bool {
+	return h.bucket(m, k).InsertUnique(m, al, k, data)
+}
+
+// Get returns the data under key.
+func (h HashTable) Get(m Mem, k int64) (int64, bool) {
+	return h.bucket(m, k).Find(m, k)
+}
+
+// Contains reports whether key is present.
+func (h HashTable) Contains(m Mem, k int64) bool {
+	_, ok := h.Get(m, k)
+	return ok
+}
+
+// Remove deletes key, reporting whether it was present.
+func (h HashTable) Remove(m Mem, al Allocator, k int64) bool {
+	return h.bucket(m, k).Remove(m, al, k)
+}
+
+// Len counts all entries (walks every chain).
+func (h HashTable) Len(m Mem) int {
+	n := 0
+	for i := 0; i < h.nBuckets; i++ {
+		l := List{Head: i2a(m.Load(w(h.Base, htData+i)))}
+		n += l.Len(m)
+	}
+	return n
+}
+
+// Each visits every (key, data) pair in bucket order.
+func (h HashTable) Each(m Mem, fn func(k, data int64) bool) {
+	for i := 0; i < h.nBuckets; i++ {
+		l := List{Head: i2a(m.Load(w(h.Base, htData+i)))}
+		stop := false
+		l.Each(m, func(k, d int64) bool {
+			if !fn(k, d) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

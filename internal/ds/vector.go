@@ -1,0 +1,103 @@
+package ds
+
+// Vector is STAMP's growable array (lib/vector.c).
+//
+// Layout: [capacity, size, data...].
+type Vector struct {
+	Base uint64
+}
+
+const (
+	vCap  = 0
+	vSize = 1
+	vData = 2
+)
+
+// NewVector allocates a vector with the given initial capacity.
+func NewVector(m Mem, al Allocator, capacity int) Vector {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base := al.AllocAligned(vData + capacity)
+	m.Store(w(base, vCap), int64(capacity))
+	m.Store(w(base, vSize), 0)
+	return Vector{Base: base}
+}
+
+// Len returns the element count.
+func (v Vector) Len(m Mem) int { return int(m.Load(w(v.Base, vSize))) }
+
+// At returns the i-th element.
+func (v Vector) At(m Mem, i int) int64 { return m.Load(w(v.Base, vData+i)) }
+
+// Set replaces the i-th element.
+func (v Vector) Set(m Mem, i int, val int64) { m.Store(w(v.Base, vData+i), val) }
+
+// PushBack appends val, growing the storage if needed.
+func (v *Vector) PushBack(m Mem, al Allocator, val int64) {
+	capacity := int(m.Load(w(v.Base, vCap)))
+	size := int(m.Load(w(v.Base, vSize)))
+	if size == capacity {
+		newCap := capacity * 2
+		newBase := al.AllocAligned(vData + newCap)
+		m.Store(w(newBase, vCap), int64(newCap))
+		m.Store(w(newBase, vSize), int64(size))
+		for i := 0; i < size; i++ {
+			m.Store(w(newBase, vData+i), m.Load(w(v.Base, vData+i)))
+		}
+		al.Free(v.Base, vData+capacity)
+		v.Base = newBase
+	}
+	m.Store(w(v.Base, vData+size), val)
+	m.Store(w(v.Base, vSize), int64(size)+1)
+}
+
+// PopBack removes and returns the last element.
+func (v Vector) PopBack(m Mem) (int64, bool) {
+	size := int(m.Load(w(v.Base, vSize)))
+	if size == 0 {
+		return 0, false
+	}
+	val := m.Load(w(v.Base, vData+size-1))
+	m.Store(w(v.Base, vSize), int64(size)-1)
+	return val, true
+}
+
+// Clear empties the vector without releasing storage.
+func (v Vector) Clear(m Mem) { m.Store(w(v.Base, vSize), 0) }
+
+// Sort sorts the elements ascending in place (heapsort: O(n log n), no
+// extra allocation — used by the optimized intruder's deferred sorting).
+func (v Vector) Sort(m Mem) {
+	n := v.Len(m)
+	at := func(i int) int64 { return v.At(m, i) }
+	swap := func(i, j int) {
+		a, b := at(i), at(j)
+		v.Set(m, i, b)
+		v.Set(m, j, a)
+	}
+	var down func(root, limit int)
+	down = func(root, limit int) {
+		for {
+			child := 2*root + 1
+			if child >= limit {
+				return
+			}
+			if child+1 < limit && at(child+1) > at(child) {
+				child++
+			}
+			if at(root) >= at(child) {
+				return
+			}
+			swap(root, child)
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(0, i)
+		down(0, i)
+	}
+}

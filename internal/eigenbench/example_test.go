@@ -1,0 +1,21 @@
+package eigenbench_test
+
+import (
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/tm"
+)
+
+// Example runs a tiny Eigenbench configuration under RTM and reports
+// whether every transaction committed (zero contention, cache-resident
+// working set).
+func Example() {
+	p := eigenbench.Default(16 << 10) // 16 KB per thread
+	p.Loops = 50
+	sys := tm.NewSystem(arch.Haswell(), tm.HTM)
+	r := eigenbench.Run(sys, p, 1)
+	fmt.Println(r.Commits, r.Aborts)
+	// Output: 200 0
+}

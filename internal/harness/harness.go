@@ -1,0 +1,191 @@
+// Package harness regenerates every figure and table of the paper's
+// evaluation: the RTM capacity/duration/overhead microbenchmarks (Fig. 1,
+// Fig. 2, Table I), the seven Eigenbench characteristic sweeps (Figs. 3-9),
+// the STAMP comparison (Figs. 10-12) and the two case studies (Tables IV
+// and V). Results are printed as aligned text tables (with paper-expected
+// shapes noted) and optionally written as CSV.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rtmlab/internal/stamp"
+)
+
+// itoa is a short alias for strconv.Itoa.
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// Options configures experiment runs.
+type Options struct {
+	Scale  stamp.Scale // input scale for STAMP and sweep density
+	Seeds  int         // independent runs to average (paper: 10)
+	OutDir string      // CSV output directory; "" disables
+}
+
+// DefaultOptions mirror a laptop-friendly but figure-quality setup.
+func DefaultOptions() Options {
+	return Options{Scale: stamp.Small, Seeds: 3}
+}
+
+// Table is a printable/exportable result grid.
+type Table struct {
+	ID     string // experiment id, e.g. "fig3"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // paper-expected shape, deviations, parameters
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends an annotation line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  # %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV stores the table under dir/<id>.csv.
+func (t *Table) WriteCSV(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		fmt.Fprintln(f, strings.Join(out, ","))
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return nil
+}
+
+// Emit prints the table and writes its CSV, reporting CSV errors inline.
+func Emit(w io.Writer, o Options, t *Table) {
+	t.Fprint(w)
+	if err := t.WriteCSV(o.OutDir); err != nil {
+		fmt.Fprintf(w, "  ! csv write failed: %v\n", err)
+	}
+}
+
+// f2 formats a float with 2 decimals; f3 with 3.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// bar renders a crude ASCII bar for quick shape reading.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Experiments maps experiment ids to their runners, in paper order.
+func Experiments() []struct {
+	ID  string
+	Run func(w io.Writer, o Options)
+} {
+	return []struct {
+		ID  string
+		Run func(w io.Writer, o Options)
+	}{
+		{"fig1", Fig1},
+		{"fig2", Fig2},
+		{"table1", Table1},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10to12},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"claims", Claims},
+		{"hybrid", HybridStudy},
+		{"ablation-retries", AblationRetries},
+		{"ablation-lockarray", AblationLockArray},
+		{"ablation-tick", AblationTick},
+		{"ablation-l1", AblationL1},
+		{"ablation-readset", AblationReadSet},
+		{"ablation-membw", AblationMemBW},
+		{"ablation-prefetch", AblationPrefetch},
+	}
+}
+
+// All runs every experiment in order.
+func All(w io.Writer, o Options) {
+	for _, e := range Experiments() {
+		e.Run(w, o)
+	}
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/stamp"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{Scale: stamp.Test, Seeds: 1, OutDir: t.TempDir()}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long_column"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Note("note %d", 7)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "long_column", "333", "# note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &Table{ID: "x", Header: []string{"a", "b"}}
+	tbl.AddRow("1", `quo"te,comma`)
+	if err := tbl.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, `"quo""te,comma"`) {
+		t.Fatalf("csv escaping wrong: %s", got)
+	}
+	// Empty dir disables output silently.
+	if err := tbl.WriteCSV(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityAbortRateWalls(t *testing.T) {
+	cfg := arch.Haswell()
+	cfg.TSX.TickPeriod = 0
+	if r := capacityAbortRate(cfg, cfg.L1.Lines(), true, 2); r != 0 {
+		t.Errorf("write at L1 capacity aborted: %g", r)
+	}
+	if r := capacityAbortRate(cfg, cfg.L1.Lines()+1, true, 2); r != 1 {
+		t.Errorf("write beyond L1 capacity committed: %g", r)
+	}
+}
+
+func TestDurationAbortRateMonotone(t *testing.T) {
+	cfg := arch.Haswell()
+	short := durationAbortRate(cfg, 1000, 10)
+	long := durationAbortRate(cfg, 4_000_000, 10)
+	if short > long {
+		t.Fatalf("duration abort rate not monotone: %g vs %g", short, long)
+	}
+	if long < 0.9 {
+		t.Fatalf("20M-cycle transactions should virtually always abort: %g", long)
+	}
+}
+
+func TestQueueDrainBackends(t *testing.T) {
+	lock := queueDrain(1, 1, 500, 0) // tm.Lock == 1
+	if lock == 0 {
+		t.Fatal("zero drain time")
+	}
+	cas := queueDrainCAS(1, 500, 0)
+	if cas == 0 || cas >= lock {
+		t.Fatalf("single-thread CAS (%d) should be cheaper than lock (%d)", cas, lock)
+	}
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "table4", "table5", "claims", "hybrid",
+		"ablation-retries", "ablation-lockarray", "ablation-tick", "ablation-l1",
+		"ablation-readset", "ablation-membw", "ablation-prefetch"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %s has no runner", e.ID)
+		}
+	}
+}
+
+// Smoke-run the cheap experiments end to end at test scale, checking they
+// emit tables and CSVs without error output.
+func TestMicrobenchExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := testOptions(t)
+	var buf bytes.Buffer
+	Fig1(&buf, o)
+	Fig2(&buf, o)
+	Table1(&buf, o)
+	out := buf.String()
+	if strings.Contains(out, "!") {
+		t.Fatalf("experiment emitted an error: %s", out)
+	}
+	for _, id := range []string{"fig1", "fig2", "table1"} {
+		if _, err := os.Stat(filepath.Join(o.OutDir, id+".csv")); err != nil {
+			t.Errorf("missing csv for %s: %v", id, err)
+		}
+	}
+}
+
+func TestEigenExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := testOptions(t)
+	var buf bytes.Buffer
+	Fig7(&buf, o)
+	if !strings.Contains(buf.String(), "conflict_prob") {
+		t.Fatalf("fig7 output malformed: %s", buf.String())
+	}
+}
+
+func TestCaseStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := testOptions(t)
+	var buf bytes.Buffer
+	Table4(&buf, o)
+	out := buf.String()
+	if strings.Contains(out, "!") {
+		t.Fatalf("table4 emitted an error: %s", out)
+	}
+	if !strings.Contains(out, "opt") || !strings.Contains(out, "base") {
+		t.Fatalf("table4 missing variants: %s", out)
+	}
+}

@@ -1,0 +1,619 @@
+// Package htm models Haswell's Restricted Transactional Memory (RTM).
+//
+// The model reproduces the mechanisms the paper's analysis rests on:
+//
+//   - Write-set capacity is bounded by the L1 data cache: evicting a
+//     transactionally written line from L1 aborts the transaction
+//     (the 512-line wall of Fig. 1).
+//   - Read-set capacity is bounded by the inclusive L3: evicting a
+//     transactionally read line from L3 aborts the transaction, and — like
+//     the real hardware — the abort is *reported* as a conflict
+//     (Section IV: "the current RTM implementation does not seem to
+//     distinguish between data-conflict aborts and aborts caused by
+//     read-set evictions from L3").
+//   - Conflicts are detected eagerly at cache-line granularity with a
+//     requester-wins policy, including against non-transactional accesses
+//     (strong atomicity) and between hyper-thread siblings.
+//   - Timer interrupts abort transactions (Fig. 2's duration wall), and
+//     page faults inside transactions abort with a MISC3 status (Table V's
+//     pre-touch optimization).
+//
+// Aborts unwind the transaction body with a panic carrying an Intel-style
+// status word; the tm package recovers it and drives the retry/fallback
+// policy of Algorithm 1.
+package htm
+
+import (
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/perf"
+	"rtmlab/internal/sim"
+	"rtmlab/internal/vm"
+)
+
+// Intel RTM abort-status bits (EAX after xbegin).
+const (
+	StatusExplicit uint32 = 1 << 0 // xabort executed; code in bits 31:24
+	StatusRetry    uint32 = 1 << 1 // retry may succeed
+	StatusConflict uint32 = 1 << 2 // memory conflict (or L3 read-set eviction)
+	StatusCapacity uint32 = 1 << 3 // internal buffer (L1 write-set) overflow
+	StatusDebug    uint32 = 1 << 4
+	StatusNested   uint32 = 1 << 5 // abort during nested transaction
+)
+
+// Started is the xbegin return value of a successfully started transaction.
+const Started uint32 = ^uint32(0)
+
+// ExplicitCode extracts the xabort immediate from a status word.
+func ExplicitCode(status uint32) uint8 { return uint8(status >> 24) }
+
+// Cause is the simulator-internal abort cause (the ground truth the
+// hardware only partially exposes through status bits and counters).
+type Cause uint8
+
+const (
+	CauseNone Cause = iota
+	CauseConflict
+	CauseReadCapacity
+	CauseWriteCapacity
+	CauseExplicit
+	CauseInterrupt
+	CausePageFault
+	CauseNestDepth
+)
+
+var causeNames = [...]string{
+	CauseNone:          "none",
+	CauseConflict:      "conflict",
+	CauseReadCapacity:  "read-capacity",
+	CauseWriteCapacity: "write-capacity",
+	CauseExplicit:      "explicit",
+	CauseInterrupt:     "interrupt",
+	CausePageFault:     "page-fault",
+	CauseNestDepth:     "nest-depth",
+}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Abort is the panic value used to unwind an aborted transaction body.
+type Abort struct {
+	Status       uint32
+	Cause        Cause
+	ConflictLine uint64 // line that triggered a conflict abort, if any
+	ByThread     int    // aggressor thread for conflicts, -1 otherwise
+}
+
+func (a Abort) Error() string {
+	return fmt.Sprintf("rtm abort: cause=%v status=%#x", a.Cause, a.Status)
+}
+
+type undoEntry struct {
+	addr uint64
+	old  int64
+}
+
+type track struct {
+	readers uint32 // bitmask of threads with the line in their read set
+	writer  int8   // thread with the line in its write set, -1 if none
+}
+
+// Txn is the per-hardware-thread transaction state.
+type Txn struct {
+	sys    *System
+	proc   *sim.Proc
+	active bool
+	nest   int
+	start  uint64 // clock at xbegin
+
+	readSet  map[uint64]struct{} // line addresses
+	writeSet map[uint64]struct{}
+	undo     []undoEntry
+
+	pending      bool // rolled back by a remote event; panic at next op
+	pendingAbort Abort
+}
+
+// Active reports whether a transaction is in flight.
+func (t *Txn) Active() bool { return t.active }
+
+// ReadSetSize returns the current number of read-set lines.
+func (t *Txn) ReadSetSize() int { return len(t.readSet) }
+
+// WriteSetSize returns the current number of write-set lines.
+func (t *Txn) WriteSetSize() int { return len(t.writeSet) }
+
+// System is the machine-wide RTM model shared by all hardware threads.
+type System struct {
+	cfg      *arch.Config
+	h        *mem.Hierarchy
+	pt       *vm.PageTable
+	Counters *perf.Set
+
+	txs []*Txn           // indexed by thread id
+	dir map[uint64]track // active transactional lines
+
+	// AbortHook, if set, observes every abort (used by the tm layer to
+	// classify lock aborts).
+	AbortHook func(tid int, a Abort)
+}
+
+// NewSystem builds the RTM model over a hierarchy, wiring its eviction
+// hooks. pt may be nil, in which case no page-fault aborts occur.
+func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
+	s := &System{
+		cfg:      cfg,
+		h:        h,
+		pt:       pt,
+		Counters: perf.NewSet(),
+		txs:      make([]*Txn, cfg.MaxThreads()),
+		dir:      make(map[uint64]track),
+	}
+	h.Hooks.OnL1Evict = s.onL1Evict
+	h.Hooks.OnL3Evict = s.onL3Evict
+	if cfg.TSX.ReadSetLevel == 2 {
+		h.Hooks.OnL2Evict = s.onL2Evict
+	}
+	return s
+}
+
+// Attach creates (or returns) the transaction state for a proc and
+// installs the PreOp hook that delivers pending aborts and timer-tick
+// aborts at operation boundaries.
+func (s *System) Attach(p *sim.Proc) *Txn {
+	tid := p.ID()
+	tx := s.txs[tid]
+	if tx == nil {
+		tx = &Txn{
+			sys:      s,
+			readSet:  make(map[uint64]struct{}),
+			writeSet: make(map[uint64]struct{}),
+		}
+		s.txs[tid] = tx
+	}
+	tx.proc = p
+	tx.active = false
+	tx.nest = 0
+	tx.pending = false
+	prev := p.PreOp
+	p.PreOp = func() {
+		if prev != nil {
+			prev()
+		}
+		s.preOp(tx)
+	}
+	return tx
+}
+
+// preOp runs before every simulated operation of the owning thread.
+func (s *System) preOp(tx *Txn) {
+	if !tx.active {
+		return
+	}
+	if tx.pending {
+		tx.pending = false
+		panic(tx.pendingAbort)
+	}
+	if s.tickBetween(tx.proc.Core(), tx.start, tx.proc.Cycles()) {
+		s.abortTx(tx, Abort{Status: StatusRetry, Cause: CauseInterrupt, ByThread: -1})
+		tx.pending = false
+		panic(tx.pendingAbort)
+	}
+}
+
+// tickBetween reports whether a timer interrupt fires on core in (from, to].
+func (s *System) tickBetween(core int, from, to uint64) bool {
+	p := s.cfg.TSX.TickPeriod
+	if p == 0 || to <= from {
+		return false
+	}
+	j := s.cfg.TSX.TickJitter
+	for k := from / p; k <= to/p+1; k++ {
+		if k == 0 {
+			continue
+		}
+		t := k * p
+		if j > 0 {
+			t += tickHash(uint64(core), k) % j
+		}
+		if t > from && t <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// tickHash is a deterministic per-(core, tick) jitter source.
+func tickHash(core, k uint64) uint64 {
+	x := core*0x9e3779b97f4a7c15 + k
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Begin starts (or nests) a transaction. It returns Started; failures are
+// delivered later as panics at the aborting operation.
+func (s *System) Begin(tx *Txn) uint32 {
+	p := tx.proc
+	if tx.active {
+		tx.nest++
+		if tx.nest >= s.cfg.TSX.MaxNest {
+			s.abortTx(tx, Abort{Status: StatusNested, Cause: CauseNestDepth, ByThread: -1})
+			tx.pending = false
+			panic(tx.pendingAbort)
+		}
+		p.AddCycles(s.cfg.TSX.XBeginCost / 4) // nested xbegin is cheap
+		return Started
+	}
+	tx.active = true
+	tx.nest = 0
+	tx.start = p.Cycles()
+	tx.pending = false
+	p.AddCycles(s.cfg.TSX.XBeginCost)
+	p.AddInstr(1)
+	s.Counters.Inc(perf.RTMStart)
+	return Started
+}
+
+// ensureActive delivers a pending remote abort (unwinding the body) or
+// panics on misuse outside a transaction.
+func (t *Txn) ensureActive(op string) {
+	if t.pending {
+		t.pending = false
+		panic(t.pendingAbort)
+	}
+	if !t.active {
+		panic("htm: " + op + " outside transaction")
+	}
+}
+
+// Load performs a transactional read.
+func (t *Txn) Load(addr uint64) int64 {
+	s := t.sys
+	t.ensureActive("Load")
+	la := mem.LineAddr(addr)
+	if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != t.proc.ID() {
+		// Requester wins: the writer's transaction dies.
+		s.abortTx(s.txs[e.writer], Abort{
+			Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+			ConflictLine: la, ByThread: t.proc.ID(),
+		})
+	}
+	if _, ok := t.readSet[la]; !ok {
+		t.readSet[la] = struct{}{}
+		e, present := s.dir[la]
+		if !present {
+			e.writer = -1
+		}
+		e.readers |= 1 << uint(t.proc.ID())
+		s.dir[la] = e
+	}
+	t.checkPageFault(addr)
+	v := t.proc.Load(addr) // may fire eviction hooks -> pending abort
+	t.deliverPending()
+	return v
+}
+
+// Store performs a transactional write.
+func (t *Txn) Store(addr uint64, val int64) {
+	s := t.sys
+	t.ensureActive("Store")
+	la := mem.LineAddr(addr)
+	self := t.proc.ID()
+	if e, ok := s.dir[la]; ok {
+		if e.writer >= 0 && int(e.writer) != self {
+			s.abortTx(s.txs[e.writer], Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: self,
+			})
+		}
+		if readers := e.readers &^ (1 << uint(self)); readers != 0 {
+			for tid := 0; readers != 0; tid++ {
+				if readers&(1<<uint(tid)) != 0 {
+					readers &^= 1 << uint(tid)
+					s.abortTx(s.txs[tid], Abort{
+						Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+						ConflictLine: la, ByThread: self,
+					})
+				}
+			}
+		}
+	}
+	if _, ok := t.writeSet[la]; !ok {
+		t.writeSet[la] = struct{}{}
+		e := s.dir[la]
+		e.writer = int8(self)
+		s.dir[la] = e
+	}
+	t.checkPageFault(addr)
+	t.undo = append(t.undo, undoEntry{addr: addr, old: s.h.Peek(addr)})
+	// Timing first: if the store's own eviction side-effects abort this
+	// transaction, the speculative value must never land.
+	t.proc.StoreTiming(addr)
+	t.deliverPending()
+	s.h.Poke(addr, val)
+}
+
+// checkPageFault aborts the transaction if addr touches a page that has
+// never been accessed (a page fault cannot be serviced inside a txn).
+func (t *Txn) checkPageFault(addr uint64) {
+	s := t.sys
+	if s.pt == nil || s.pt.Touched(addr) {
+		return
+	}
+	// The fault is serviced on the non-transactional path after the
+	// abort, so the page becomes resident for the retry.
+	s.pt.Touch(addr)
+	t.proc.AddCycles(s.pt.FaultCycles)
+	s.abortTx(t, Abort{Status: 0, Cause: CausePageFault, ByThread: -1})
+	t.pending = false
+	panic(t.pendingAbort)
+}
+
+// deliverPending panics with the pending abort if a hook rolled us back
+// during the memory access we just performed.
+func (t *Txn) deliverPending() {
+	if t.pending {
+		t.pending = false
+		panic(t.pendingAbort)
+	}
+}
+
+// XAbort explicitly aborts the running transaction with an 8-bit code.
+func (t *Txn) XAbort(code uint8) {
+	s := t.sys
+	t.ensureActive("XAbort")
+	t.proc.AddCycles(s.cfg.TSX.XAbortCost)
+	s.abortTx(t, Abort{
+		Status:   StatusExplicit | uint32(code)<<24,
+		Cause:    CauseExplicit,
+		ByThread: -1,
+	})
+	t.pending = false
+	panic(t.pendingAbort)
+}
+
+// Commit commits the transaction (outermost level) or pops one nesting
+// level.
+func (t *Txn) Commit() {
+	s := t.sys
+	t.ensureActive("Commit")
+	if t.nest > 0 {
+		t.nest--
+		return
+	}
+	p := t.proc
+	p.AddCycles(s.cfg.TSX.XEndCost)
+	p.AddInstr(1)
+	s.clearSets(t)
+	t.active = false
+	t.undo = t.undo[:0]
+	s.Counters.Inc(perf.RTMCommit)
+}
+
+// abortTx rolls back tx immediately (restoring memory and dropping its
+// speculative lines) and arranges for its thread to panic at its next
+// operation (or immediately, if the caller is the victim and chooses to).
+func (s *System) abortTx(tx *Txn, a Abort) {
+	if tx == nil || !tx.active {
+		return
+	}
+	// Restore the undo log in reverse.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		s.h.Poke(tx.undo[i].addr, tx.undo[i].old)
+	}
+	// Speculative lines are invalidated on abort (loss of locality).
+	core := tx.proc.Core()
+	for la := range tx.writeSet {
+		s.h.Drop(core, la)
+	}
+	s.clearSets(tx)
+	tx.undo = tx.undo[:0]
+	tx.active = false
+	tx.nest = 0
+	tx.pending = true
+	tx.pendingAbort = a
+	tx.proc.AddCycles(s.cfg.TSX.AbortCost)
+
+	s.countAbort(a)
+	if s.AbortHook != nil {
+		s.AbortHook(tx.proc.ID(), a)
+	}
+}
+
+// countAbort updates the Intel-style performance counters for one abort.
+func (s *System) countAbort(a Abort) {
+	c := s.Counters
+	c.Inc(perf.RTMAborted)
+	c.Inc("htm:abort." + a.Cause.String())
+	switch a.Cause {
+	case CauseConflict, CauseReadCapacity, CauseWriteCapacity:
+		c.Inc(perf.RTMAbortedMisc1)
+	case CauseExplicit, CausePageFault, CauseNestDepth:
+		c.Inc(perf.RTMAbortedMisc3)
+	case CauseInterrupt:
+		c.Inc(perf.RTMAbortedMisc5)
+	}
+}
+
+// clearSets removes tx's lines from the global directory and empties its
+// read and write sets.
+func (s *System) clearSets(tx *Txn) {
+	tid := tx.proc.ID()
+	for la := range tx.readSet {
+		if e, ok := s.dir[la]; ok {
+			e.readers &^= 1 << uint(tid)
+			if e.readers == 0 && e.writer < 0 {
+				delete(s.dir, la)
+			} else {
+				s.dir[la] = e
+			}
+		}
+		delete(tx.readSet, la)
+	}
+	for la := range tx.writeSet {
+		if e, ok := s.dir[la]; ok {
+			if int(e.writer) == tid {
+				e.writer = -1
+			}
+			if e.readers == 0 && e.writer < 0 {
+				delete(s.dir, la)
+			} else {
+				s.dir[la] = e
+			}
+		}
+		delete(tx.writeSet, la)
+	}
+}
+
+// onL1Evict implements write-set capacity aborts: a transactionally
+// written line leaving a core's L1 kills the writing transaction.
+func (s *System) onL1Evict(core int, la uint64) {
+	e, ok := s.dir[la]
+	if !ok || e.writer < 0 {
+		return
+	}
+	tx := s.txs[e.writer]
+	if tx == nil || !tx.active || tx.proc.Core() != core {
+		return
+	}
+	if _, ours := tx.writeSet[la]; !ours {
+		return
+	}
+	s.abortTx(tx, Abort{Status: StatusCapacity, Cause: CauseWriteCapacity, ByThread: -1})
+}
+
+// onL3Evict implements read-set capacity aborts: a transactionally read
+// line leaving the inclusive L3 kills every reader. The hardware reports
+// these as conflicts (no RETRY, CONFLICT set) — we keep the true cause in
+// the internal counters.
+func (s *System) onL3Evict(la uint64) {
+	e, ok := s.dir[la]
+	if !ok {
+		return
+	}
+	if e.writer >= 0 {
+		if tx := s.txs[e.writer]; tx != nil && tx.active {
+			s.abortTx(tx, Abort{Status: StatusCapacity, Cause: CauseWriteCapacity, ByThread: -1})
+		}
+	}
+	readers := e.readers
+	for tid := 0; readers != 0; tid++ {
+		if readers&(1<<uint(tid)) == 0 {
+			continue
+		}
+		readers &^= 1 << uint(tid)
+		if tx := s.txs[tid]; tx != nil && tx.active {
+			s.abortTx(tx, Abort{Status: StatusConflict, Cause: CauseReadCapacity, ByThread: -1})
+		}
+	}
+}
+
+// onL2Evict implements the L2-bounded read-set ablation: a line leaving a
+// core's L2 aborts that core's transactions tracking it in their read
+// sets (the write set is still L1-bound via onL1Evict).
+func (s *System) onL2Evict(core int, la uint64) {
+	e, ok := s.dir[la]
+	if !ok {
+		return
+	}
+	readers := e.readers
+	for tid := 0; readers != 0; tid++ {
+		if readers&(1<<uint(tid)) == 0 {
+			continue
+		}
+		readers &^= 1 << uint(tid)
+		tx := s.txs[tid]
+		if tx == nil || !tx.active || tx.proc.Core() != core {
+			continue
+		}
+		if _, ours := tx.readSet[la]; ours {
+			s.abortTx(tx, Abort{Status: StatusConflict, Cause: CauseReadCapacity, ByThread: -1})
+		}
+	}
+}
+
+// RawLoad is a non-transactional read with strong atomicity: it aborts any
+// transaction that has the line in its write set.
+func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
+	if len(s.dir) != 0 {
+		la := mem.LineAddr(addr)
+		if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != p.ID() {
+			s.abortTx(s.txs[e.writer], Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: p.ID(),
+			})
+		}
+	}
+	if s.pt != nil {
+		s.pt.Service(p, addr)
+	}
+	return p.Load(addr)
+}
+
+// RawStore is a non-transactional write with strong atomicity: it aborts
+// any transaction tracking the line.
+func (s *System) RawStore(p *sim.Proc, addr uint64, val int64) {
+	if len(s.dir) != 0 {
+		s.killTrackers(p.ID(), mem.LineAddr(addr))
+	}
+	if s.pt != nil {
+		s.pt.Service(p, addr)
+	}
+	p.Store(addr, val)
+}
+
+// RawRMW is a non-transactional atomic read-modify-write with strong
+// atomicity: it aborts every transaction tracking the line, pays exclusive
+// (store) timing, then applies f with no scheduler yield — the Peek/Poke
+// pair is the atomic step. It returns the old value.
+func (s *System) RawRMW(p *sim.Proc, addr uint64, f func(int64) int64) int64 {
+	if s.pt != nil {
+		s.pt.Service(p, addr)
+	}
+	p.AddCycles(s.cfg.Lat.AtomicRMW)
+	p.StoreTiming(addr) // yields: transactions may touch the line meanwhile
+	// Atomic step: kill every tracker (their undo logs restore first, so
+	// Peek sees committed state), then read-modify-write. No yields occur
+	// from here to the Poke.
+	s.killTrackers(p.ID(), mem.LineAddr(addr))
+	old := s.h.Peek(addr)
+	s.h.Poke(addr, f(old))
+	return old
+}
+
+// killTrackers conflict-aborts every active transaction (other than self)
+// that has the line in its read or write set. It performs no simulated
+// memory operations and never yields.
+func (s *System) killTrackers(self int, la uint64) {
+	e, ok := s.dir[la]
+	if !ok {
+		return
+	}
+	if e.writer >= 0 && int(e.writer) != self {
+		s.abortTx(s.txs[e.writer], Abort{
+			Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+			ConflictLine: la, ByThread: self,
+		})
+	}
+	readers := e.readers &^ (1 << uint(self))
+	for tid := 0; readers != 0; tid++ {
+		if readers&(1<<uint(tid)) != 0 {
+			readers &^= 1 << uint(tid)
+			s.abortTx(s.txs[tid], Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: self,
+			})
+		}
+	}
+}
+
+// ActiveLines returns the number of lines currently tracked (for tests).
+func (s *System) ActiveLines() int { return len(s.dir) }

@@ -1,0 +1,31 @@
+package locks
+
+import "rtmlab/internal/sim"
+
+// ProcMem adapts a bare sim.Proc to the Mem interface, without
+// TM-awareness. The tm package provides a strong-atomicity-aware
+// implementation for runs that mix locks with hardware transactions.
+type ProcMem struct {
+	P *sim.Proc
+}
+
+// Load performs a timed read.
+func (m ProcMem) Load(addr uint64) int64 { return m.P.Load(addr) }
+
+// Store performs a timed write.
+func (m ProcMem) Store(addr uint64, val int64) { m.P.Store(addr, val) }
+
+// RMW pays store timing, then applies f atomically: the Peek/Poke pair
+// runs with no scheduler yield in between, so no other simulated thread
+// can interleave.
+func (m ProcMem) RMW(addr uint64, f func(int64) int64) int64 {
+	m.P.AddCycles(m.P.Hierarchy().Config().Lat.AtomicRMW)
+	m.P.StoreTiming(addr)
+	h := m.P.Hierarchy()
+	old := h.Peek(addr)
+	h.Poke(addr, f(old))
+	return old
+}
+
+// Pause executes a spin-wait hint.
+func (m ProcMem) Pause() { m.P.Pause() }

@@ -1,0 +1,108 @@
+package mem
+
+// line is one cache entry: a tag plus an LRU timestamp. Coherence state is
+// kept in the L3 directory, not here (see the package comment).
+type line struct {
+	tag   uint64 // line address; valid is tracked separately
+	valid bool
+	lru   uint64
+	// Directory fields, used by the L3 instance only.
+	owner   int8   // core holding the line in M state, -1 if none
+	sharers uint64 // bitmask of cores holding a copy
+}
+
+// cache is a set-associative presence tracker with LRU replacement.
+type cache struct {
+	sets    int
+	ways    int
+	setMask uint64
+	lines   []line // sets*ways, row-major per set
+	tick    uint64
+}
+
+func newCache(sets, ways int) *cache {
+	return &cache{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*ways),
+	}
+}
+
+// set returns the slice of ways for the set holding lineAddr.
+func (c *cache) set(lineAddr uint64) []line {
+	s := int(lineAddr & c.setMask)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// lookup returns the entry for lineAddr, or nil on a miss. On a hit the LRU
+// stamp is refreshed.
+func (c *cache) lookup(lineAddr uint64) *line {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.tick++
+			set[i].lru = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// present reports whether lineAddr is cached, without touching LRU state.
+func (c *cache) present(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// insert places lineAddr into its set, evicting the LRU entry if the set is
+// full. It returns the evicted line address and true if an eviction
+// happened. The new entry's directory fields are zeroed (owner -1).
+func (c *cache) insert(lineAddr uint64) (victim uint64, evicted bool, entry *line) {
+	set := c.set(lineAddr)
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			evicted = false
+			goto place
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi].tag
+	evicted = true
+place:
+	c.tick++
+	set[vi] = line{tag: lineAddr, valid: true, lru: c.tick, owner: -1}
+	return victim, evicted, &set[vi]
+}
+
+// drop removes lineAddr if present and reports whether it was present.
+func (c *cache) drop(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// count returns the number of valid entries (for tests).
+func (c *cache) count() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

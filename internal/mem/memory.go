@@ -1,0 +1,71 @@
+// Package mem implements the simulated memory system: a word-addressable
+// backing store plus a Haswell-like cache hierarchy (private L1D and L2 per
+// core, shared inclusive L3) with directory-based MESI coherence and LRU
+// replacement.
+//
+// Design notes:
+//
+//   - Data lives only in the flat backing store. Caches track presence and
+//     coherence state for timing and for the eviction/invalidation events
+//     that the HTM model turns into transaction aborts; they do not hold
+//     copies of the data. This is sound because the simulation engine runs
+//     exactly one hardware thread at a time and the TM layers (undo log /
+//     write buffer) guarantee that speculative values are never visible to
+//     other threads.
+//   - Coherence state is centralised in the L3 directory entry of each line
+//     (owner core for M, sharer set for S/E). The private L1/L2 arrays are
+//     pure presence/recency filters.
+//   - All methods are single-threaded by construction (the engine
+//     serialises simulated threads), so the package uses no locks.
+package mem
+
+import "rtmlab/internal/arch"
+
+const lineShift = 6 // log2(arch.LineSize)
+
+// LineAddr returns the cache-line address (addr / 64) of a byte address.
+func LineAddr(addr uint64) uint64 { return addr >> lineShift }
+
+// Memory is the word-granular backing store. Pages are allocated lazily so
+// that sparse multi-hundred-megabyte address spaces stay cheap.
+type Memory struct {
+	pages map[uint64]*[wordsPerPage]int64
+}
+
+const (
+	pageShift    = 12 // 4 KB pages
+	wordsPerPage = arch.PageSize / arch.WordSize
+)
+
+// NewMemory returns an empty backing store.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[wordsPerPage]int64)}
+}
+
+func (m *Memory) page(addr uint64) *[wordsPerPage]int64 {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new([wordsPerPage]int64)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read returns the word stored at addr (which must be word-aligned).
+func (m *Memory) Read(addr uint64) int64 {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		return 0
+	}
+	return p[(addr%arch.PageSize)/arch.WordSize]
+}
+
+// Write stores val at the word-aligned address addr.
+func (m *Memory) Write(addr uint64, val int64) {
+	m.page(addr)[(addr%arch.PageSize)/arch.WordSize] = val
+}
+
+// Pages returns the number of materialised pages (for tests/diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,43 @@
+package sim
+
+// Barrier synchronises n simulated threads. When the last thread arrives,
+// every waiter's clock is advanced to the latest arriver's clock (waiting
+// costs wall time) and all are released.
+type Barrier struct {
+	n       int
+	waiting []*Proc
+	epoch   uint64
+}
+
+// NewBarrier returns a barrier for n threads.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size must be >= 1")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks p until n threads have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	p.preOp()
+	if len(b.waiting)+1 < b.n {
+		b.waiting = append(b.waiting, p)
+		p.block()
+		return
+	}
+	// Last arriver: release everyone at the max clock.
+	maxClock := p.clock
+	for _, w := range b.waiting {
+		if w.clock > maxClock {
+			maxClock = w.clock
+		}
+	}
+	for _, w := range b.waiting {
+		w.clock = maxClock
+		p.unblock(w)
+	}
+	b.waiting = b.waiting[:0]
+	b.epoch++
+	p.clock = maxClock
+	p.yield()
+}

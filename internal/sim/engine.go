@@ -1,0 +1,382 @@
+// Package sim is the deterministic multicore execution engine. Simulated
+// hardware threads are goroutines that yield to a min-clock scheduler at
+// every simulated operation; exactly one simulated thread runs at a time,
+// and the runnable thread with the smallest local cycle clock always runs
+// next (ties broken by thread id). This approximates the wall-clock
+// interleaving of real parallel hardware while keeping every run
+// reproducible bit-for-bit.
+package sim
+
+import (
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/rng"
+)
+
+// PauseCycles is the cost of a PAUSE (spin-wait hint) instruction.
+const PauseCycles = 10
+
+type procState uint8
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is one simulated hardware thread. All methods must be called from
+// the goroutine executing the thread's body.
+type Proc struct {
+	id    int
+	core  int
+	clock uint64
+	instr uint64
+	state procState
+	eng   *Engine
+	rsm   chan struct{}
+
+	// Rng is the thread's deterministic PRNG, seeded from the run seed.
+	Rng *rng.Rand
+
+	// PreOp, if non-nil, runs before every simulated operation. The TM
+	// layer uses it to deliver pending aborts at operation boundaries.
+	PreOp func()
+}
+
+// ID returns the hardware-thread id (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Core returns the physical core this thread is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Cycles returns the thread's local clock.
+func (p *Proc) Cycles() uint64 { return p.clock }
+
+// Instructions returns the number of instructions the thread has executed,
+// including those on aborted (wasted) paths.
+func (p *Proc) Instructions() uint64 { return p.instr }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Hierarchy returns the simulated memory system.
+func (p *Proc) Hierarchy() *mem.Hierarchy { return p.eng.H }
+
+func (p *Proc) preOp() {
+	p.eng.H.Now = p.clock
+	if p.PreOp != nil {
+		p.PreOp()
+	}
+}
+
+// scale applies the hyper-threading slowdown while a sibling hardware
+// thread shares this core's pipeline.
+func (p *Proc) scale(cycles uint64) uint64 {
+	e := p.eng
+	if e.coreLive[p.core] > 1 {
+		return cycles * e.htNum / e.htDen
+	}
+	return cycles
+}
+
+// AddWork models n cycles of computation without a scheduling point
+// (cheaper than Work for fine-grained accounting); the cost scales with
+// hyper-thread contention like any other op.
+func (p *Proc) AddWork(n uint64) {
+	p.instr += n
+	p.clock += p.scale(n)
+}
+
+// Load performs a timed coherent read of the word at addr.
+func (p *Proc) Load(addr uint64) int64 {
+	p.preOp()
+	v, cycles := p.eng.H.Load(p.core, addr)
+	p.instr++
+	p.clock += p.scale(cycles)
+	p.yield()
+	return v
+}
+
+// Store performs a timed coherent write of the word at addr.
+func (p *Proc) Store(addr uint64, val int64) {
+	p.preOp()
+	cycles := p.eng.H.Store(p.core, addr, val)
+	p.instr++
+	p.clock += p.scale(cycles)
+	p.yield()
+}
+
+// LoadOverlapped performs the cache-state work of a load whose latency is
+// hidden under an adjacent independent access (instruction-level
+// parallelism), charging a single cycle. The STM layer uses it for
+// lock-array reads, which real hardware issues in parallel with the data
+// access.
+func (p *Proc) LoadOverlapped(addr uint64) int64 {
+	p.preOp()
+	v, _ := p.eng.H.Load(p.core, addr)
+	p.instr++
+	p.clock++
+	p.yield()
+	return v
+}
+
+// StoreTiming performs the timing and coherence work of a store without
+// writing a value (see mem.Hierarchy.StoreTiming).
+func (p *Proc) StoreTiming(addr uint64) {
+	p.preOp()
+	cycles := p.eng.H.StoreTiming(p.core, addr)
+	p.instr++
+	p.clock += p.scale(cycles)
+	p.yield()
+}
+
+// Touch performs the timing work of a read without returning data.
+func (p *Proc) Touch(addr uint64) {
+	p.preOp()
+	cycles := p.eng.H.Touch(p.core, addr)
+	p.instr++
+	p.clock += p.scale(cycles)
+	p.yield()
+}
+
+// Work models n cycles of core-local computation (n instructions).
+func (p *Proc) Work(n uint64) {
+	if n == 0 {
+		return
+	}
+	p.preOp()
+	p.instr += n
+	p.clock += p.scale(n)
+	p.yield()
+}
+
+// AddCycles advances the clock by n cycles without executing instructions
+// (fixed synchronization costs such as xbegin). It does not yield.
+func (p *Proc) AddCycles(n uint64) { p.clock += n }
+
+// AddInstr adds n to the instruction count without advancing time (for
+// overlapped bookkeeping instructions).
+func (p *Proc) AddInstr(n uint64) { p.instr += n }
+
+// Pause models a PAUSE spin-wait hint.
+func (p *Proc) Pause() {
+	p.preOp()
+	p.instr++
+	p.clock += p.scale(PauseCycles)
+	p.yield()
+}
+
+// yield hands the CPU model to the runnable thread with the smallest
+// clock. The fast path (this thread is still the minimum) costs nothing.
+func (p *Proc) yield() {
+	e := p.eng
+	if e.single || len(e.heap) == 0 || p.less(e.heap[0]) {
+		return
+	}
+	// Someone else is earlier (or equal with a smaller id): switch to it.
+	p.state = stateRunnable
+	e.push(p)
+	next := e.pop()
+	if next == p { // defensive; cannot happen given the ordering check
+		p.state = stateRunning
+		return
+	}
+	next.state = stateRunning
+	next.rsm <- struct{}{}
+	<-p.rsm
+	p.state = stateRunning
+}
+
+// less orders procs by (clock, id).
+func (p *Proc) less(q *Proc) bool {
+	if p.clock != q.clock {
+		return p.clock < q.clock
+	}
+	return p.id < q.id
+}
+
+// block parks the thread until another thread unblocks it (see Barrier).
+func (p *Proc) block() {
+	e := p.eng
+	p.state = stateBlocked
+	next := e.pop()
+	if next == nil {
+		panic(fmt.Sprintf("sim: deadlock: thread %d blocked with no runnable threads", p.id))
+	}
+	next.state = stateRunning
+	next.rsm <- struct{}{}
+	<-p.rsm
+	p.state = stateRunning
+}
+
+// unblock makes q runnable again (caller must be the running proc).
+func (p *Proc) unblock(q *Proc) {
+	q.state = stateRunnable
+	p.eng.push(q)
+}
+
+// finish marks the thread done and hands off.
+func (p *Proc) finish() {
+	e := p.eng
+	p.state = stateDone
+	e.coreLive[p.core]--
+	e.remaining--
+	if e.remaining == 0 {
+		e.finished <- struct{}{}
+		return
+	}
+	next := e.pop()
+	if next == nil {
+		panic(fmt.Sprintf("sim: deadlock: thread %d finished but %d threads are blocked", p.id, e.remaining))
+	}
+	next.state = stateRunning
+	next.rsm <- struct{}{}
+}
+
+// Engine drives one parallel region.
+type Engine struct {
+	Cfg *arch.Config
+	H   *mem.Hierarchy
+
+	procs     []*Proc
+	heap      []*Proc
+	remaining int
+	finished  chan struct{}
+	single    bool // fast path for single-threaded regions
+
+	// Hyper-threading model: when coreLive[c] > 1 the sibling threads
+	// share the core pipeline and every op costs htNum/htDen x its solo
+	// latency.
+	coreLive []int
+	htNum    uint64
+	htDen    uint64
+}
+
+// Result summarises a parallel region.
+type Result struct {
+	Cycles       uint64   // region wall time: max over threads
+	ThreadCycles []uint64 // per-thread busy cycles
+	Instr        []uint64 // per-thread instruction counts
+	MemStats     mem.Stats
+}
+
+// TotalInstr returns the summed instruction count.
+func (r Result) TotalInstr() uint64 {
+	var t uint64
+	for _, n := range r.Instr {
+		t += n
+	}
+	return t
+}
+
+// Run executes body on n simulated hardware threads over the hierarchy h
+// and returns the region metrics. Threads are pinned round-robin to
+// physical cores (threads 0..cores-1 get their own core; beyond that,
+// hyper-thread siblings share cores, as in the paper's setup). setup, if
+// non-nil, is called with each proc before execution starts (the TM layer
+// installs per-thread state there).
+func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Proc), body func(*Proc)) Result {
+	if n < 1 || n > cfg.MaxThreads() {
+		panic(fmt.Sprintf("sim: thread count %d out of range [1,%d]", n, cfg.MaxThreads()))
+	}
+	e := &Engine{
+		Cfg:       cfg,
+		H:         h,
+		remaining: n,
+		finished:  make(chan struct{}),
+		single:    n == 1,
+		coreLive:  make([]int, cfg.Cores),
+		htNum:     31,
+		htDen:     20,
+	}
+	if cfg.HTFactor > 0 {
+		e.htNum = uint64(cfg.HTFactor * 100)
+		e.htDen = 100
+	}
+	before := h.Stats
+	h.ResetRegion()
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			id:   i,
+			core: i % cfg.Cores,
+			eng:  e,
+			rsm:  make(chan struct{}),
+			Rng:  rng.New(seed*0x9e3779b9 + uint64(i) + 1),
+		}
+		e.procs = append(e.procs, p)
+		e.coreLive[p.core]++
+		if setup != nil {
+			setup(p)
+		}
+	}
+	for _, p := range e.procs {
+		p := p
+		go func() {
+			<-p.rsm
+			p.state = stateRunning
+			body(p)
+			p.finish()
+		}()
+	}
+	// Start every thread except the first in the heap; kick off thread 0.
+	for i := n - 1; i >= 1; i-- {
+		e.push(e.procs[i])
+	}
+	e.procs[0].rsm <- struct{}{}
+	<-e.finished
+
+	res := Result{MemStats: h.Stats.Sub(before)}
+	for _, p := range e.procs {
+		res.ThreadCycles = append(res.ThreadCycles, p.clock)
+		res.Instr = append(res.Instr, p.instr)
+		if p.clock > res.Cycles {
+			res.Cycles = p.clock
+		}
+	}
+	return res
+}
+
+// push inserts p into the runnable min-heap.
+func (e *Engine) push(p *Proc) {
+	e.heap = append(e.heap, p)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].less(e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum runnable proc, or nil.
+func (e *Engine) pop() *Proc {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	min := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.heap) && e.heap[l].less(e.heap[small]) {
+			small = l
+		}
+		if r < len(e.heap) && e.heap[r].less(e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	return min
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !almost(s.Mean(), 5) {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2.138089935) > 1e-6 {
+		t.Errorf("stddev = %g", s.StdDev())
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.StdDev() != 0 {
+		t.Fatal("single sample")
+	}
+	if s.String() != "3.00" {
+		t.Fatalf("string = %s", s.String())
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5} {
+		s.Add(x)
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.Median() != 5 {
+		t.Fatalf("min/max/median = %g/%g/%g", s.Min(), s.Max(), s.Median())
+	}
+	s.Add(7)
+	if s.Median() != 6 {
+		t.Fatalf("even median = %g", s.Median())
+	}
+}
+
+func TestCV(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(10)
+	if s.CV() != 0 {
+		t.Fatal("constant sample has CV 0")
+	}
+	var z Sample
+	z.Add(0)
+	z.Add(0)
+	if z.CV() != 0 {
+		t.Fatal("zero-mean CV guard failed")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean(1,4) != 2")
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("geomean guards failed")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 || Speedup(10, 0) != 0 {
+		t.Fatal("speedup")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			// Skip inputs whose sum overflows float64 range.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package stm reimplements TinySTM (Felber, Fetzer, Marlier, Riegel:
+// "Time-Based Software Transactional Memory") — the word-based, time-based
+// software TM the paper compares RTM against.
+//
+// The implementation follows TinySTM's write-back, encounter-time-locking
+// design:
+//
+//   - A global version clock and a 2^k-entry versioned-lock array. Both
+//     live in *simulated* memory, so the cache traffic and coherence
+//     ping-pong they cause (the clock line shared by every thread, the
+//     lock lines bouncing between writers) are modelled for real — these
+//     are exactly the overheads the paper attributes TinySTM's
+//     instrumentation costs and false conflicts to.
+//   - Reads sample the lock, read the value, revalidate the lock, and
+//     extend the snapshot when a newer version is seen (time-based
+//     opacity).
+//   - Writes acquire the versioned lock at encounter time and buffer the
+//     value until commit (write-back).
+//   - Conflicts (lock held by another transaction, failed validation) abort
+//     the transaction, which retries after a bounded exponential backoff.
+//   - False conflicts arise naturally when distinct addresses hash to the
+//     same lock entry — with the default 2^21 entries the lock array covers
+//     16 MB of distinct words, which is where the paper observes TinySTM's
+//     false-conflict rate rising sharply.
+package stm
+
+import (
+	"fmt"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/perf"
+	"rtmlab/internal/sim"
+	"rtmlab/internal/vm"
+)
+
+// MetaBase is the simulated address where STM metadata lives, far above
+// any heap allocation.
+const MetaBase uint64 = 1 << 36
+
+// Abort is the panic value used to unwind an aborted transaction body.
+type Abort struct {
+	Reason Reason
+}
+
+func (a Abort) Error() string { return fmt.Sprintf("stm abort: %v", a.Reason) }
+
+// Reason classifies why a software transaction aborted.
+type Reason uint8
+
+const (
+	ReasonNone Reason = iota
+	ReasonLocked
+	ReasonValidation
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonLocked:
+		return "locked"
+	case ReasonValidation:
+		return "validation"
+	default:
+		return "none"
+	}
+}
+
+type readEntry struct {
+	lockAddr uint64
+	version  uint64
+}
+
+// Write and lock sets are kept as ordered slices (with map indexes for
+// O(1) lookup) so that commit-time stores replay in acquisition order —
+// map iteration order would make the cache timing nondeterministic.
+type writeEntry struct {
+	addr uint64
+	val  int64
+}
+
+type ownedEntry struct {
+	lockAddr uint64
+	version  uint64
+}
+
+// System is the machine-wide TinySTM instance.
+type System struct {
+	cfg      *arch.Config
+	h        *mem.Hierarchy
+	pt       *vm.PageTable
+	Counters *perf.Set
+
+	clockAddr uint64
+	lockBase  uint64
+	lockMask  uint64
+
+	// MaxBackoff caps the exponential backoff in cycles.
+	MaxBackoff uint64
+}
+
+// NewSystem builds a TinySTM over the hierarchy. pt may be nil.
+func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
+	return &System{
+		cfg:        cfg,
+		h:          h,
+		pt:         pt,
+		Counters:   perf.NewSet(),
+		clockAddr:  MetaBase,
+		lockBase:   MetaBase + arch.PageSize,
+		lockMask:   (1 << uint(cfg.STM.LockArrayLog2)) - 1,
+		MaxBackoff: 8192,
+	}
+}
+
+// lockOf maps a data address to its versioned-lock address.
+func (s *System) lockOf(addr uint64) uint64 {
+	idx := (addr >> 3) & s.lockMask
+	return s.lockBase + idx*arch.WordSize
+}
+
+// Lock-word encoding: bit 0 = locked; locked words carry the owner tid in
+// bits 1..16, unlocked words carry version << 1.
+func lockedWord(tid int) int64   { return int64(tid)<<1 | 1 }
+func isLocked(w int64) bool      { return w&1 == 1 }
+func lockOwner(w int64) int      { return int(w >> 1) }
+func versionWord(v uint64) int64 { return int64(v << 1) }
+func wordVersion(w int64) uint64 { return uint64(w) >> 1 }
+
+// Txn is the per-thread transaction descriptor.
+type Txn struct {
+	sys    *System
+	proc   *sim.Proc
+	active bool
+
+	rv       uint64 // read/snapshot version
+	reads    []readEntry
+	writes   []writeEntry
+	writeIdx map[uint64]int // data addr -> index into writes
+	owned    []ownedEntry
+	ownedIdx map[uint64]int // lock addr -> index into owned
+	attempts int            // consecutive aborts of the current atomic block
+}
+
+// Attach returns a fresh transaction descriptor for a proc.
+func (s *System) Attach(p *sim.Proc) *Txn {
+	return &Txn{
+		sys:      s,
+		proc:     p,
+		writeIdx: make(map[uint64]int),
+		ownedIdx: make(map[uint64]int),
+	}
+}
+
+// Active reports whether a transaction is in flight.
+func (t *Txn) Active() bool { return t.active }
+
+// ReadSetSize returns the number of read-set entries.
+func (t *Txn) ReadSetSize() int { return len(t.reads) }
+
+// WriteSetSize returns the number of buffered writes.
+func (t *Txn) WriteSetSize() int { return len(t.writes) }
+
+// Begin starts a transaction: sample the global clock (a real, timed load —
+// the clock line is the classic TinySTM scalability bottleneck).
+func (t *Txn) Begin() {
+	if t.active {
+		panic("stm: nested Begin (flatten in the tm layer)")
+	}
+	s := t.sys
+	t.proc.AddCycles(s.cfg.STM.TxBeginCost)
+	t.proc.AddInstr(4)
+	t.rv = uint64(t.proc.Load(s.clockAddr)) >> 1
+	t.active = true
+	t.reads = t.reads[:0]
+	s.Counters.Inc("stm:begin")
+}
+
+// abort releases encounter-time locks, applies backoff and unwinds.
+func (t *Txn) abort(reason Reason) {
+	s := t.sys
+	for _, oe := range t.owned {
+		t.proc.Store(oe.lockAddr, versionWord(oe.version))
+	}
+	t.clearSets()
+	t.active = false
+	t.attempts++
+	s.Counters.Inc("stm:abort")
+	s.Counters.Inc("stm:abort." + reason.String())
+	// Bounded exponential backoff with deterministic jitter.
+	shift := t.attempts
+	if shift > 12 {
+		shift = 12
+	}
+	window := uint64(1) << uint(shift+4)
+	if window > s.MaxBackoff {
+		window = s.MaxBackoff
+	}
+	t.proc.AddCycles(uint64(t.proc.Rng.Intn(int(window))) + 8)
+	panic(Abort{Reason: reason})
+}
+
+// validate checks that every read entry is still consistent at this
+// instant. Lock words are peeked (they are almost always cache-resident
+// for the validating thread; the time cost is charged explicitly).
+func (t *Txn) validate() bool {
+	s := t.sys
+	t.proc.AddCycles(uint64(len(t.reads)) * s.cfg.STM.ValidatePerRead)
+	for _, re := range t.reads {
+		w := s.h.Peek(re.lockAddr)
+		if isLocked(w) {
+			if _, mine := t.ownedIdx[re.lockAddr]; !mine {
+				return false
+			}
+			continue
+		}
+		if wordVersion(w) != re.version {
+			return false
+		}
+	}
+	return true
+}
+
+// extend tries to move the snapshot forward (time-based design): reread
+// the clock and revalidate.
+func (t *Txn) extend() bool {
+	s := t.sys
+	now := uint64(t.proc.Load(s.clockAddr)) >> 1
+	if !t.validate() {
+		return false
+	}
+	t.rv = now
+	s.Counters.Inc("stm:extend")
+	return true
+}
+
+// Load performs a transactional read.
+func (t *Txn) Load(addr uint64) int64 {
+	if !t.active {
+		panic("stm: Load outside transaction")
+	}
+	s := t.sys
+	t.proc.AddCycles(s.cfg.STM.ReadInstrCost)
+	t.proc.AddInstr(3)
+	if i, ok := t.writeIdx[addr]; ok {
+		return t.writes[i].val // read-own-write from the write buffer
+	}
+	lockAddr := s.lockOf(addr)
+	for {
+		// The lock read is independent of the data read, so its latency
+		// overlaps (ILP); the cache still sees the access.
+		w := t.proc.LoadOverlapped(lockAddr)
+		if isLocked(w) {
+			if _, mine := t.ownedIdx[lockAddr]; mine {
+				// Lock owned by us for a colliding address; memory still
+				// holds the committed value (write-back).
+				if s.pt != nil {
+					s.pt.Service(t.proc, addr)
+				}
+				return t.proc.Load(addr)
+			}
+			t.abort(ReasonLocked)
+		}
+		ver := wordVersion(w)
+		if ver > t.rv {
+			if !t.extend() {
+				t.abort(ReasonValidation)
+			}
+		}
+		if s.pt != nil {
+			s.pt.Service(t.proc, addr)
+		}
+		v := t.proc.Load(addr)
+		// Revalidate: the lock must be unchanged across the data read.
+		if s.h.Peek(lockAddr) != w {
+			continue
+		}
+		t.reads = append(t.reads, readEntry{lockAddr: lockAddr, version: ver})
+		return v
+	}
+}
+
+// Store performs a transactional write: acquire the versioned lock at
+// encounter time, buffer the value.
+func (t *Txn) Store(addr uint64, val int64) {
+	if !t.active {
+		panic("stm: Store outside transaction")
+	}
+	s := t.sys
+	t.proc.AddCycles(s.cfg.STM.WriteInstrCost)
+	t.proc.AddInstr(4)
+	if i, ok := t.writeIdx[addr]; ok {
+		t.writes[i].val = val
+		return
+	}
+	lockAddr := s.lockOf(addr)
+	if _, mine := t.ownedIdx[lockAddr]; mine {
+		t.putWrite(addr, val)
+		return
+	}
+	var ver uint64
+	for {
+		w := t.proc.Load(lockAddr)
+		if isLocked(w) {
+			t.abort(ReasonLocked) // encounter-time conflict
+		}
+		ver = wordVersion(w)
+		if ver > t.rv && !t.extend() {
+			t.abort(ReasonValidation)
+		}
+		// CAS emulation: the timed load above yielded, so the word may
+		// have changed; Peek and the store below are atomic (no yield in
+		// between), so an unchanged word means the CAS wins.
+		if s.h.Peek(lockAddr) != w {
+			continue
+		}
+		t.proc.Store(lockAddr, lockedWord(t.proc.ID()))
+		break
+	}
+	t.ownedIdx[lockAddr] = len(t.owned)
+	t.owned = append(t.owned, ownedEntry{lockAddr: lockAddr, version: ver})
+	t.putWrite(addr, val)
+}
+
+func (t *Txn) putWrite(addr uint64, val int64) {
+	t.writeIdx[addr] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{addr: addr, val: val})
+}
+
+// Commit validates the read set, publishes buffered writes and releases
+// the locks with a new version from the global clock.
+func (t *Txn) Commit() {
+	if !t.active {
+		panic("stm: Commit outside transaction")
+	}
+	s := t.sys
+	t.proc.AddCycles(s.cfg.STM.TxCommitCost)
+	t.proc.AddInstr(4)
+	if len(t.writes) == 0 {
+		// Read-only fast path: snapshot is already consistent.
+		t.finish()
+		s.Counters.Inc("stm:commit")
+		return
+	}
+	// Increment the global clock (timed load+store modelling the
+	// contended fetch-and-increment; Peek+Store is the atomic step).
+	var cv uint64
+	for {
+		old := t.proc.Load(s.clockAddr)
+		if s.h.Peek(s.clockAddr) != old {
+			continue
+		}
+		cv = wordVersion(old) + 1
+		t.proc.Store(s.clockAddr, versionWord(cv))
+		break
+	}
+	if cv > t.rv+1 && !t.validate() {
+		t.abort(ReasonValidation)
+	}
+	// Publish the write-back buffer in program order.
+	for _, we := range t.writes {
+		if s.pt != nil {
+			s.pt.Service(t.proc, we.addr)
+		}
+		t.proc.AddCycles(s.cfg.STM.CommitPerWrite)
+		t.proc.Store(we.addr, we.val)
+	}
+	// Release locks with the commit version, in acquisition order.
+	for _, oe := range t.owned {
+		t.proc.Store(oe.lockAddr, versionWord(cv))
+	}
+	t.finish()
+	s.Counters.Inc("stm:commit")
+}
+
+func (t *Txn) finish() {
+	t.clearSets()
+	t.active = false
+	t.attempts = 0
+}
+
+func (t *Txn) clearSets() {
+	for _, we := range t.writes {
+		delete(t.writeIdx, we.addr)
+	}
+	for _, oe := range t.owned {
+		delete(t.ownedIdx, oe.lockAddr)
+	}
+	t.writes = t.writes[:0]
+	t.owned = t.owned[:0]
+	t.reads = t.reads[:0]
+}
+
+// AbortVoluntarily aborts the current transaction (STAMP's restart).
+func (t *Txn) AbortVoluntarily() {
+	if !t.active {
+		panic("stm: abort outside transaction")
+	}
+	t.abort(ReasonNone)
+}

@@ -1,0 +1,73 @@
+package tm
+
+import (
+	"rtmlab/internal/htm"
+	"rtmlab/internal/locks"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/trace"
+)
+
+// Hardware Lock Elision (HLE) is TSX's legacy-compatible interface: an
+// XACQUIRE-prefixed lock acquisition starts a hardware transaction with
+// the lock line in its read set but leaves the lock unwritten, so multiple
+// critical sections run concurrently; XRELEASE commits. Unlike RTM there
+// is no software retry policy — after a failed elision the hardware
+// re-executes the critical section acquiring the lock for real.
+//
+// The tm backend models exactly that: one elision attempt, then a real
+// test-and-set acquisition (whose write to the lock line aborts every
+// concurrently eliding transaction, just like hardware).
+
+// hleLockAddr is the elided lock's address (its own cache line).
+const hleLockAddr uint64 = serialLockAddr + 4*64
+
+// xabortHLEHeld marks an elision attempt that observed the lock held.
+const xabortHLEHeld uint8 = 0xE1
+
+// atomicHLE runs body as an elided critical section.
+func (c *Ctx) atomicHLE(body func(t Tx)) {
+	if c.tryHLE(body) == nil {
+		return
+	}
+	c.sys.Counters.Inc("tm:hle.fallback")
+	c.emit(trace.KindFallback, "hle")
+	// Elision failed: take the lock for real. Waiting for the lock to be
+	// free first avoids an abort storm among the other eliders.
+	lk := locks.TAS{Addr: hleLockAddr}
+	for c.Load(hleLockAddr) != 0 {
+		c.Pause()
+	}
+	lk.Lock(c)
+	c.atomicDirect(body, rawTx{c})
+	lk.Unlock(c)
+}
+
+// tryHLE makes the single hardware elision attempt.
+func (c *Ctx) tryHLE(body func(t Tx)) (abort *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, is := r.(htm.Abort); is {
+				c.noteSiteAbort(a.Cause.String())
+				c.emit(trace.KindAbort, a.Cause.String())
+				abort = &a
+				return
+			}
+			panic(r)
+		}
+	}()
+	c.resetFrees()
+	c.emit(trace.KindElide, "")
+	c.sys.HTM.Begin(c.htx)
+	// The elided acquisition reads the lock word (subscribing to it); a
+	// held lock cannot be elided.
+	if c.htx.Load(hleLockAddr) != 0 {
+		c.htx.XAbort(xabortHLEHeld)
+	}
+	body(htmTx{c})
+	c.htx.Commit()
+	c.emit(trace.KindCommit, "")
+	return nil
+}
+
+// hleLockLine is used by the abort classifier.
+func hleLockLine() uint64 { return mem.LineAddr(hleLockAddr) }

@@ -1,0 +1,172 @@
+package tm
+
+import (
+	"testing"
+
+	"rtmlab/internal/arch"
+)
+
+func TestHybridCounterAtomicity(t *testing.T) {
+	sys := NewSystem(arch.Haswell(), Hybrid)
+	const perThread = 150
+	sys.Run(4, 5, func(c *Ctx) {
+		for i := 0; i < perThread; i++ {
+			c.Atomic(func(tx Tx) {
+				tx.Store(0, tx.Load(0)+1)
+			})
+		}
+	})
+	if got := sys.H.Peek(0); got != 4*perThread {
+		t.Fatalf("counter = %d, want %d", got, 4*perThread)
+	}
+}
+
+func TestHybridBankTransfers(t *testing.T) {
+	sys := NewSystem(arch.Haswell(), Hybrid)
+	const accounts = 24
+	for i := 0; i < accounts; i++ {
+		sys.H.Poke(uint64(i)*arch.LineSize, 500)
+	}
+	sys.Run(4, 9, func(c *Ctx) {
+		for i := 0; i < 120; i++ {
+			from := uint64(c.P.Rng.Intn(accounts)) * arch.LineSize
+			to := uint64(c.P.Rng.Intn(accounts)) * arch.LineSize
+			c.Atomic(func(tx Tx) {
+				tx.Store(from, tx.Load(from)-3)
+				tx.Store(to, tx.Load(to)+3)
+			})
+		}
+	})
+	var total int64
+	for i := 0; i < accounts; i++ {
+		total += sys.H.Peek(uint64(i) * arch.LineSize)
+	}
+	if total != accounts*500 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestHybridOverflowFallsBackToSTM(t *testing.T) {
+	// A transaction beyond the L1 write set must complete through the
+	// software path, not a lock.
+	cfg := arch.Haswell()
+	cfg.L1 = arch.CacheGeom{SizeBytes: 8 * arch.LineSize, Ways: 2}
+	cfg.L3 = arch.CacheGeom{SizeBytes: 64 * arch.LineSize, Ways: 4}
+	sys := NewSystem(cfg, Hybrid)
+	n := cfg.L1.Lines() * 2
+	sys.Run(1, 1, func(c *Ctx) {
+		c.Atomic(func(tx Tx) {
+			for i := 0; i < n; i++ {
+				tx.Store(uint64(i)*arch.LineSize, int64(i+1))
+			}
+		})
+	})
+	if sys.Counters.Get("tm:hybrid.fallback") != 1 {
+		t.Fatal("expected one software fallback")
+	}
+	if sys.STM.Counters.Get("stm:commit") != 1 {
+		t.Fatal("fallback did not commit through TinySTM")
+	}
+	for i := 0; i < n; i++ {
+		if sys.H.Peek(uint64(i)*arch.LineSize) != int64(i+1) {
+			t.Fatalf("word %d lost", i)
+		}
+	}
+}
+
+func TestHybridSoftwareTxnsRunConcurrently(t *testing.T) {
+	// The whole point versus Algorithm 1: two overflowing transactions on
+	// disjoint data must both run in software *concurrently* instead of
+	// serialising on a lock. With the lock fallback, total time is ~2x one
+	// transaction; with the hybrid it approaches 1x.
+	cfg := arch.Haswell()
+	cfg.L1 = arch.CacheGeom{SizeBytes: 8 * arch.LineSize, Ways: 2}
+	cfg.L3 = arch.CacheGeom{SizeBytes: 512 * arch.LineSize, Ways: 8}
+	overflow := cfg.L1.Lines() * 4
+	run := func(backend Backend) uint64 {
+		sys := NewSystem(cfg, backend)
+		res := sys.Run(2, 3, func(c *Ctx) {
+			base := uint64(c.P.ID()) << 22
+			for rep := 0; rep < 8; rep++ {
+				c.Atomic(func(tx Tx) {
+					for i := 0; i < overflow; i++ {
+						a := base + uint64(i)*arch.LineSize
+						tx.Store(a, tx.Load(a)+1)
+					}
+				})
+			}
+		})
+		return res.Cycles
+	}
+	lock := run(HTM)
+	hybrid := run(Hybrid)
+	if float64(hybrid) > 0.8*float64(lock) {
+		t.Fatalf("hybrid (%d) should clearly beat the lock fallback (%d) on disjoint overflow", hybrid, lock)
+	}
+}
+
+func TestHybridStrongIsolationAcrossWorlds(t *testing.T) {
+	// Invariant pairs maintained by a mix of hardware and forced-software
+	// transactions must never tear.
+	cfg := arch.Haswell()
+	cfg.L1 = arch.CacheGeom{SizeBytes: 8 * arch.LineSize, Ways: 2}
+	cfg.L3 = arch.CacheGeom{SizeBytes: 512 * arch.LineSize, Ways: 8}
+	sys := NewSystem(cfg, Hybrid)
+	overflow := cfg.L1.Lines() * 2
+	const xA, yA = 0, 4096
+	violations := 0
+	sys.Run(4, 7, func(c *Ctx) {
+		for i := 0; i < 60; i++ {
+			switch c.P.ID() % 3 {
+			case 0: // hardware-sized writer
+				c.Atomic(func(tx Tx) {
+					v := tx.Load(xA)
+					tx.Store(xA, v+1)
+					tx.Store(yA, v+1)
+				})
+			case 1: // overflowing writer: runs in software
+				base := uint64(1) << 23
+				c.Atomic(func(tx Tx) {
+					v := tx.Load(xA)
+					for k := 0; k < overflow; k++ {
+						a := base + uint64(k)*arch.LineSize
+						tx.Store(a, tx.Load(a)+1)
+					}
+					tx.Store(xA, v+1)
+					tx.Store(yA, v+1)
+				})
+			default: // reader
+				c.Atomic(func(tx Tx) {
+					x := tx.Load(xA)
+					c.P.Work(uint64(c.P.Rng.Intn(20)))
+					y := tx.Load(yA)
+					if x != y {
+						violations++
+					}
+				})
+			}
+		}
+	})
+	if violations > 0 {
+		t.Fatalf("%d isolation violations between hardware and software transactions", violations)
+	}
+	if sys.Counters.Get("tm:hybrid.fallback") == 0 {
+		t.Fatal("test never exercised the software path")
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	run := func() uint64 {
+		sys := NewSystem(arch.Haswell(), Hybrid)
+		res := sys.Run(4, 11, func(c *Ctx) {
+			for i := 0; i < 50; i++ {
+				addr := uint64(c.P.Rng.Intn(16)) * arch.LineSize
+				c.Atomic(func(tx Tx) { tx.Store(addr, tx.Load(addr)+1) })
+			}
+		})
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,559 @@
+// Package tm is the unified transactional-memory facade: one atomic-block
+// API over interchangeable concurrency-control backends, mirroring STAMP's
+// tm.h macro layer (TM_BEGIN / TM_SHARED_READ / TM_SHARED_WRITE /
+// TM_END).
+//
+// Backends:
+//
+//   - Seq: no synchronization — the sequential (non-TM) baseline every
+//     figure in the paper normalises against.
+//   - Lock: one global ticket spinlock around each atomic block.
+//   - STM: TinySTM (internal/stm) with retry-on-abort.
+//   - HTM: Haswell RTM (internal/htm) with the paper's Algorithm 1 —
+//     transactions read the serialisation lock after xbegin (adding it to
+//     their read set), explicitly abort if it is held, fall back to taking
+//     the lock as a writer after MaxRetries failures, and wait for the
+//     lock to be free before retrying. Lock acquisition by a fallback
+//     thread conflict-aborts every running transaction through the lock's
+//     cache line ("lock aborts", Fig. 12).
+//   - HTMBare: RTM with plain retry and no fallback lock, used by the
+//     Table I overhead microbenchmark.
+package tm
+
+import (
+	"fmt"
+
+	"rtmlab/internal/alloc"
+	"rtmlab/internal/arch"
+	"rtmlab/internal/energy"
+	"rtmlab/internal/htm"
+	"rtmlab/internal/locks"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/perf"
+	"rtmlab/internal/sim"
+	"rtmlab/internal/stm"
+	"rtmlab/internal/trace"
+	"rtmlab/internal/vm"
+)
+
+// Backend selects the concurrency-control mechanism.
+type Backend uint8
+
+const (
+	Seq Backend = iota
+	Lock
+	STM
+	HTM
+	HTMBare
+	HLE
+	Hybrid
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Seq:
+		return "seq"
+	case Lock:
+		return "lock"
+	case STM:
+		return "tinystm"
+	case HTM:
+		return "rtm"
+	case HTMBare:
+		return "rtm-bare"
+	case HLE:
+		return "hle"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("backend(%d)", uint8(b))
+	}
+}
+
+// DefaultMaxRetries is the paper's retry budget before falling back to the
+// serialisation lock ("when transactions fail more than eight times").
+const DefaultMaxRetries = 8
+
+// xabortLockHeld is the explicit-abort code used when a transaction sees
+// the serialisation lock held (Algorithm 1's _xabort(0)).
+const xabortLockHeld uint8 = 0
+
+// xabortRestart is the explicit-abort code used by Tx.Restart.
+const xabortRestart uint8 = 0xAB
+
+// Addresses of the synchronisation words, below the heap, each on its own
+// cache line.
+const (
+	serialLockAddr uint64 = 1 << 28
+	globalLockAddr uint64 = serialLockAddr + 2*arch.LineSize
+)
+
+// System owns one simulated machine plus the TM runtime for one backend.
+type System struct {
+	Arch *arch.Config
+	H    *mem.Hierarchy
+	PT   *vm.PageTable
+	Heap *alloc.Heap
+
+	Backend    Backend
+	MaxRetries int
+
+	HTM      *htm.System
+	STM      *stm.System
+	Counters *perf.Set
+
+	serial locks.RW
+	global locks.Ticket
+	pools  []*alloc.Pool
+	ctxs   []*Ctx
+
+	// RegionHook, if set, observes every parallel region's metrics (the
+	// stamp runner accumulates region-of-interest totals with it).
+	RegionHook func(sim.Result)
+
+	// Trace, if set, records a transaction-event timeline.
+	Trace *trace.Buffer
+}
+
+// NewSystem builds a fresh machine (hierarchy, page table, heap) and TM
+// runtime for the given backend.
+func NewSystem(cfg *arch.Config, backend Backend) *System {
+	h := mem.New(cfg)
+	pt := vm.NewPageTable()
+	s := &System{
+		Arch:       cfg,
+		H:          h,
+		PT:         pt,
+		Heap:       alloc.NewHeap(pt),
+		Backend:    backend,
+		MaxRetries: DefaultMaxRetries,
+		Counters:   perf.NewSet(),
+		serial:     locks.RW{Addr: serialLockAddr},
+		global:     locks.Ticket{Addr: globalLockAddr},
+		pools:      make([]*alloc.Pool, cfg.MaxThreads()),
+		ctxs:       make([]*Ctx, cfg.MaxThreads()),
+	}
+	switch backend {
+	case Hybrid:
+		s.HTM = htm.NewSystem(cfg, h, pt)
+		s.STM = stm.NewSystem(cfg, h, pt)
+	case HTM, HTMBare, HLE:
+		s.HTM = htm.NewSystem(cfg, h, pt)
+		lockLine := mem.LineAddr(serialLockAddr)
+		s.HTM.AbortHook = func(tid int, a htm.Abort) {
+			switch {
+			case a.Cause == htm.CauseConflict && a.ConflictLine == lockLine:
+				s.Counters.Inc("tm:abort.lock")
+				s.Counters.Inc("tm:abort.lock.conflict")
+			case a.Cause == htm.CauseExplicit && htm.ExplicitCode(a.Status) == xabortLockHeld:
+				s.Counters.Inc("tm:abort.lock")
+				s.Counters.Inc("tm:abort.lock.explicit")
+			case a.Cause == htm.CauseConflict && a.ConflictLine == hleLockLine(),
+				a.Cause == htm.CauseExplicit && htm.ExplicitCode(a.Status) == xabortHLEHeld:
+				s.Counters.Inc("tm:abort.hlelock")
+			}
+		}
+	case STM:
+		s.STM = stm.NewSystem(cfg, h, pt)
+	}
+	return s
+}
+
+// Aborts returns the total transaction aborts so far (for energy
+// accounting).
+func (s *System) Aborts() uint64 {
+	switch s.Backend {
+	case HTM, HTMBare, HLE:
+		return s.HTM.Counters.Get(perf.RTMAborted)
+	case STM:
+		return s.STM.Counters.Get("stm:abort")
+	case Hybrid:
+		return s.HTM.Counters.Get(perf.RTMAborted) + s.STM.Counters.Get("stm:abort")
+	default:
+		return 0
+	}
+}
+
+// Run executes body on n simulated threads, attaching a Ctx to each, and
+// returns the region metrics.
+func (s *System) Run(n int, seed uint64, body func(c *Ctx)) sim.Result {
+	res := sim.Run(s.Arch, s.H, n, seed, nil, func(p *sim.Proc) {
+		body(s.attach(p))
+	})
+	if s.RegionHook != nil {
+		s.RegionHook(res)
+	}
+	return res
+}
+
+// Measure wraps a Run result and the abort delta into an energy measure.
+func (s *System) Measure(res sim.Result, abortsBefore uint64) energy.Measure {
+	return energy.Measure{
+		Cycles:       res.Cycles,
+		ThreadCycles: res.ThreadCycles,
+		Instr:        res.TotalInstr(),
+		Mem:          res.MemStats,
+		Aborts:       s.Aborts() - abortsBefore,
+	}
+}
+
+// attach builds the per-thread context.
+func (s *System) attach(p *sim.Proc) *Ctx {
+	tid := p.ID()
+	if s.pools[tid] == nil {
+		s.pools[tid] = s.Heap.NewPool()
+	}
+	c := s.ctxs[tid]
+	if c == nil {
+		c = &Ctx{}
+		s.ctxs[tid] = c
+	}
+	*c = Ctx{sys: s, P: p, Pool: s.pools[tid]}
+	switch s.Backend {
+	case HTM, HTMBare, HLE:
+		c.htx = s.HTM.Attach(p)
+	case STM:
+		c.stx = s.STM.Attach(p)
+	case Hybrid:
+		c.htx = s.HTM.Attach(p)
+		c.stx = s.STM.Attach(p)
+	}
+	return c
+}
+
+// Ctx is the per-thread handle workloads program against.
+type Ctx struct {
+	sys  *System
+	P    *sim.Proc
+	Pool *alloc.Pool
+
+	htx   *htm.Txn
+	stx   *stm.Txn
+	inTx  bool
+	site  string
+	frees []pendingFree
+
+	// Retries counts HTM attempts of the current atomic block.
+	lastRetries int
+}
+
+// System returns the owning system.
+func (c *Ctx) System() *System { return c.sys }
+
+// --- Raw (non-transactional) accesses -----------------------------------
+
+// Load performs a plain (uninstrumented) read. Under HTM, a plain load
+// issued inside an active hardware transaction is still tracked by the
+// hardware — there is no way to hide a load from TSX — so it routes
+// through the transaction; outside transactions it is strongly atomic.
+// Under STM a plain load really is invisible to the TM (the instrumentation
+// is compile-time selective), which is exactly the asymmetry STAMP's
+// labyrinth exploits with its unprotected grid copy.
+func (c *Ctx) Load(addr uint64) int64 {
+	if c.sys.HTM != nil {
+		if c.htx != nil && c.htx.Active() {
+			return c.htx.Load(addr)
+		}
+		return c.sys.HTM.RawLoad(c.P, addr)
+	}
+	c.sys.PT.Service(c.P, addr)
+	return c.P.Load(addr)
+}
+
+// Store performs a plain (uninstrumented) write; like Load it cannot
+// escape an active hardware transaction.
+func (c *Ctx) Store(addr uint64, val int64) {
+	if c.sys.HTM != nil {
+		if c.htx != nil && c.htx.Active() {
+			c.htx.Store(addr, val)
+			return
+		}
+		c.sys.HTM.RawStore(c.P, addr, val)
+		return
+	}
+	c.sys.PT.Service(c.P, addr)
+	c.P.Store(addr, val)
+}
+
+// RMW performs a non-transactional atomic read-modify-write.
+func (c *Ctx) RMW(addr uint64, f func(int64) int64) int64 {
+	if c.sys.HTM != nil {
+		return c.sys.HTM.RawRMW(c.P, addr, f)
+	}
+	c.sys.PT.Service(c.P, addr)
+	c.P.AddCycles(c.sys.Arch.Lat.AtomicRMW)
+	c.P.StoreTiming(addr)
+	old := c.sys.H.Peek(addr)
+	c.sys.H.Poke(addr, f(old))
+	return old
+}
+
+// Pause executes a spin-wait hint (part of locks.Mem).
+func (c *Ctx) Pause() { c.P.Pause() }
+
+// Work models n cycles of thread-local computation.
+func (c *Ctx) Work(n uint64) { c.P.Work(n) }
+
+// Alloc allocates nWords words from the thread-local pool.
+func (c *Ctx) Alloc(nWords int) uint64 { return c.Pool.Alloc(c.P, nWords) }
+
+// AllocAligned allocates a cache-line-aligned block (for structure
+// headers; see ds.Allocator).
+func (c *Ctx) AllocAligned(nWords int) uint64 { return c.Pool.AllocAligned(c.P, nWords) }
+
+// pendingFree is a free deferred to transaction commit.
+type pendingFree struct {
+	addr   uint64
+	nWords int
+}
+
+// Free returns a block to the thread-local pool. Inside an atomic block
+// the free is deferred until the block commits (STAMP's TM_FREE): freeing
+// eagerly would let an aborted attempt's rollback resurrect a node whose
+// memory had already been handed out again.
+func (c *Ctx) Free(addr uint64, nWords int) {
+	if c.inTx {
+		c.frees = append(c.frees, pendingFree{addr, nWords})
+		return
+	}
+	c.Pool.Free(addr, nWords)
+}
+
+// resetFrees discards frees queued by a failed attempt.
+func (c *Ctx) resetFrees() { c.frees = c.frees[:0] }
+
+// applyFrees releases the frees of a committed atomic block.
+func (c *Ctx) applyFrees() {
+	for _, f := range c.frees {
+		c.Pool.Free(f.addr, f.nWords)
+	}
+	c.frees = c.frees[:0]
+}
+
+// --- Atomic blocks -------------------------------------------------------
+
+// Tx is the handle passed to atomic-block bodies. Loads and stores go
+// through the backend's concurrency control; Restart abandons the attempt
+// and re-executes the block.
+type Tx interface {
+	Load(addr uint64) int64
+	Store(addr uint64, val int64)
+	Restart()
+}
+
+// restartSignal implements Restart for the lock/seq backends.
+type restartSignal struct{}
+
+// Retries reports how many failed HTM attempts the last atomic block made
+// (0 for a first-try commit).
+func (c *Ctx) Retries() int { return c.lastRetries }
+
+// emit records a trace event if tracing is enabled.
+func (c *Ctx) emit(kind trace.Kind, detail string) {
+	if c.sys.Trace == nil {
+		return
+	}
+	c.sys.Trace.Emit(trace.Event{
+		Cycle:  c.P.Cycles(),
+		Thread: c.P.ID(),
+		Kind:   kind,
+		Site:   c.site,
+		Detail: detail,
+	})
+}
+
+// AtomicSite runs an atomic block tagged with a site name. Per-site
+// counters accumulate in System.Counters: "site:<name>:commits",
+// ":cycles" (inclusive of retries), ":aborts" and ":abort.<cause>" —
+// the inputs for the paper's per-transaction tables (IV and V).
+func (c *Ctx) AtomicSite(site string, body func(t Tx)) {
+	prev := c.site
+	c.site = site
+	start := c.P.Cycles()
+	c.Atomic(body)
+	cnt := c.sys.Counters
+	cnt.Add("site:"+site+":cycles", c.P.Cycles()-start)
+	cnt.Inc("site:" + site + ":commits")
+	c.site = prev
+}
+
+// noteSiteAbort records a per-site abort with its cause label.
+func (c *Ctx) noteSiteAbort(cause string) {
+	if c.site == "" {
+		return
+	}
+	c.sys.Counters.Inc("site:" + c.site + ":aborts")
+	c.sys.Counters.Inc("site:" + c.site + ":abort." + cause)
+}
+
+// Atomic executes body atomically under the system's backend.
+func (c *Ctx) Atomic(body func(t Tx)) {
+	if c.inTx {
+		panic("tm: nested Atomic (flatten in the workload)")
+	}
+	c.inTx = true
+	defer func() { c.inTx = false }()
+	c.sys.Counters.Inc("tm:atomic")
+	c.resetFrees()
+	switch c.sys.Backend {
+	case Seq:
+		c.atomicDirect(body, rawTx{c})
+	case Lock:
+		c.global()
+		c.atomicDirect(body, rawTx{c})
+		c.sys.global.Unlock(c)
+	case STM:
+		c.atomicSTM(body)
+	case HTM:
+		c.atomicHTM(body, false)
+	case HTMBare:
+		c.atomicHTM(body, true)
+	case HLE:
+		c.atomicHLE(body)
+	case Hybrid:
+		c.atomicHybrid(body)
+	}
+	c.applyFrees()
+}
+
+// global acquires the global lock for the Lock backend.
+func (c *Ctx) global() { c.sys.global.Lock(c) }
+
+// atomicDirect runs body with direct accesses, honouring Restart.
+func (c *Ctx) atomicDirect(body func(t Tx), t Tx) {
+	for {
+		again := func() (again bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, is := r.(restartSignal); is {
+						again = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			c.resetFrees()
+			body(t)
+			return false
+		}()
+		if !again {
+			return
+		}
+	}
+}
+
+// atomicSTM retries the body under TinySTM until it commits.
+func (c *Ctx) atomicSTM(body func(t Tx)) {
+	for {
+		done := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if a, is := r.(stm.Abort); is {
+						c.noteSiteAbort(a.Reason.String())
+						c.emit(trace.KindAbort, a.Reason.String())
+						ok = false
+						return
+					}
+					panic(r)
+				}
+			}()
+			c.resetFrees()
+			c.emit(trace.KindBegin, "")
+			c.stx.Begin()
+			body(stmTx{c})
+			c.stx.Commit()
+			c.emit(trace.KindCommit, "")
+			return true
+		}()
+		if done {
+			return
+		}
+	}
+}
+
+// atomicHTM implements Algorithm 1 from the paper.
+func (c *Ctx) atomicHTM(body func(t Tx), bare bool) {
+	s := c.sys
+	retries := 0
+	for {
+		retries++
+		abort := c.tryHTM(body, bare)
+		if abort == nil {
+			c.lastRetries = retries - 1
+			return
+		}
+		if !bare {
+			// If the abort says the serialisation lock was held (either
+			// our explicit abort or a conflict on the lock line), wait for
+			// it to be free before retrying.
+			lockHeld := (abort.Cause == htm.CauseExplicit && htm.ExplicitCode(abort.Status) == xabortLockHeld) ||
+				(abort.Cause == htm.CauseConflict && abort.ConflictLine == mem.LineAddr(serialLockAddr))
+			if lockHeld {
+				for !locks.CanRead(c.Load(serialLockAddr)) {
+					c.Pause()
+				}
+			}
+			if retries >= s.MaxRetries {
+				break
+			}
+		}
+	}
+	// Fall-back path: serialise on the write side of the lock. The lock
+	// write conflict-aborts every transaction that read the lock word.
+	s.Counters.Inc("tm:fallback")
+	c.emit(trace.KindFallback, "")
+	s.serial.WriteLock(c)
+	c.atomicDirect(body, rawTx{c})
+	s.serial.WriteUnlock(c)
+	c.lastRetries = retries
+}
+
+// tryHTM makes one hardware attempt; it returns nil on commit.
+func (c *Ctx) tryHTM(body func(t Tx), bare bool) (abort *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, is := r.(htm.Abort); is {
+				c.noteSiteAbort(a.Cause.String())
+				c.emit(trace.KindAbort, a.Cause.String())
+				abort = &a
+				return
+			}
+			panic(r)
+		}
+	}()
+	c.resetFrees()
+	c.emit(trace.KindBegin, "")
+	c.sys.HTM.Begin(c.htx)
+	if !bare {
+		// Algorithm 1: subscribe to the serialisation lock inside the
+		// transaction; abort explicitly if a fallback writer holds it.
+		if !locks.CanRead(c.htx.Load(serialLockAddr)) {
+			c.htx.XAbort(xabortLockHeld)
+		}
+	}
+	body(htmTx{c})
+	c.htx.Commit()
+	c.emit(trace.KindCommit, "")
+	return nil
+}
+
+// rawTx: direct accesses (Seq and Lock backends, and the HTM fallback).
+type rawTx struct{ c *Ctx }
+
+func (t rawTx) Load(addr uint64) int64       { return t.c.Load(addr) }
+func (t rawTx) Store(addr uint64, val int64) { t.c.Store(addr, val) }
+func (t rawTx) Restart()                     { panic(restartSignal{}) }
+
+// htmTx: accesses through the hardware transaction.
+type htmTx struct{ c *Ctx }
+
+func (t htmTx) Load(addr uint64) int64       { return t.c.htx.Load(addr) }
+func (t htmTx) Store(addr uint64, val int64) { t.c.htx.Store(addr, val) }
+func (t htmTx) Restart()                     { t.c.htx.XAbort(xabortRestart) }
+
+// stmTx: accesses through TinySTM.
+type stmTx struct{ c *Ctx }
+
+func (t stmTx) Load(addr uint64) int64       { return t.c.stx.Load(addr) }
+func (t stmTx) Store(addr uint64, val int64) { t.c.stx.Store(addr, val) }
+func (t stmTx) Restart()                     { t.c.stx.AbortVoluntarily() }

@@ -1,0 +1,118 @@
+// Package trace records transaction-level event timelines (begin, commit,
+// abort with cause, fallback serialisation) from a tm.System. Traces make
+// the paper's mechanisms directly visible: capacity-abort storms before a
+// labyrinth fallback, lock-abort cascades when a fallback thread takes the
+// serialisation lock, tick aborts punctuating long transactions.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	KindBegin Kind = iota
+	KindCommit
+	KindAbort
+	KindFallback
+	KindElide
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindFallback:
+		return "fallback"
+	case KindElide:
+		return "elide"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Cycle  uint64
+	Thread int
+	Kind   Kind
+	Site   string // atomic-site tag, if any
+	Detail string // abort cause, retry count, ...
+}
+
+// Buffer collects events up to a limit (0 = unbounded); further events
+// are counted in Dropped. Buffers are not safe for concurrent use — the
+// simulation engine serialises all simulated threads, so none is needed.
+type Buffer struct {
+	events  []Event
+	limit   int
+	Dropped uint64
+}
+
+// NewBuffer returns a buffer bounded to limit events (0 = unbounded).
+func NewBuffer(limit int) *Buffer {
+	return &Buffer{limit: limit}
+}
+
+// Emit appends an event, dropping it if the buffer is full.
+func (b *Buffer) Emit(e Event) {
+	if b.limit > 0 && len(b.events) >= b.limit {
+		b.Dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Events returns the recorded events sorted by cycle (stable for equal
+// cycles, preserving emission order).
+func (b *Buffer) Events() []Event {
+	out := append([]Event(nil), b.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// Reset clears the buffer.
+func (b *Buffer) Reset() {
+	b.events = b.events[:0]
+	b.Dropped = 0
+}
+
+// Count returns the number of events of the given kind.
+func (b *Buffer) Count(k Kind) int {
+	n := 0
+	for _, e := range b.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the timeline, one event per line.
+func (b *Buffer) WriteText(w io.Writer) {
+	for _, e := range b.Events() {
+		site := e.Site
+		if site == "" {
+			site = "-"
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, "%12d t%d %-8s %-12s %s\n", e.Cycle, e.Thread, e.Kind, site, e.Detail)
+		} else {
+			fmt.Fprintf(w, "%12d t%d %-8s %s\n", e.Cycle, e.Thread, e.Kind, site)
+		}
+	}
+	if b.Dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped (buffer limit)\n", b.Dropped)
+	}
+}

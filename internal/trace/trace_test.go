@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEmitAndCount(t *testing.T) {
+	b := NewBuffer(0)
+	b.Emit(Event{Cycle: 10, Thread: 0, Kind: KindBegin})
+	b.Emit(Event{Cycle: 20, Thread: 0, Kind: KindAbort, Detail: "conflict"})
+	b.Emit(Event{Cycle: 30, Thread: 0, Kind: KindBegin})
+	b.Emit(Event{Cycle: 40, Thread: 0, Kind: KindCommit})
+	if b.Len() != 4 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if b.Count(KindBegin) != 2 || b.Count(KindAbort) != 1 || b.Count(KindCommit) != 1 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestLimitDropsEvents(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Emit(Event{Cycle: uint64(i), Kind: KindBegin})
+	}
+	if b.Len() != 2 || b.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+}
+
+func TestEventsSortedByCycle(t *testing.T) {
+	b := NewBuffer(0)
+	b.Emit(Event{Cycle: 30, Kind: KindCommit})
+	b.Emit(Event{Cycle: 10, Kind: KindBegin})
+	b.Emit(Event{Cycle: 20, Kind: KindAbort})
+	ev := b.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Cycle < ev[i-1].Cycle {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	b := NewBuffer(1)
+	b.Emit(Event{Cycle: 5, Thread: 2, Kind: KindAbort, Site: "reserve", Detail: "page-fault"})
+	b.Emit(Event{Cycle: 6, Kind: KindBegin}) // dropped
+	var buf bytes.Buffer
+	b.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"t2", "abort", "reserve", "page-fault", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBuffer(1)
+	b.Emit(Event{Kind: KindBegin})
+	b.Emit(Event{Kind: KindBegin})
+	b.Reset()
+	if b.Len() != 0 || b.Dropped != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindBegin: "begin", KindCommit: "commit", KindAbort: "abort",
+		KindFallback: "fallback", KindElide: "elide",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d -> %q", k, k.String())
+		}
+	}
+}
