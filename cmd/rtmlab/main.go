@@ -10,12 +10,19 @@
 //
 // Experiments: fig1 fig2 table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 (also emits fig11 and fig12) table4 table5.
+//
+// Independent experiment points run concurrently on -j workers (default:
+// one per CPU); results are collected by point index, so the output is
+// byte-identical at any -j. Use -cpuprofile/-memprofile to capture pprof
+// profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rtmlab/internal/harness"
 	"rtmlab/internal/stamp"
@@ -23,14 +30,17 @@ import (
 
 func main() {
 	var (
-		scale  = flag.String("scale", "small", "input scale: test | small | full")
-		seeds  = flag.Int("seeds", 3, "independent runs to average (paper uses 10)")
-		outDir = flag.String("csv", "", "directory for CSV output (empty: none)")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.String("scale", "small", "input scale: test | small | full")
+		seeds      = flag.Int("seeds", 3, "independent runs to average (paper uses 10)")
+		outDir     = flag.String("csv", "", "directory for CSV output (empty: none)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment points (1 = sequential)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	o := harness.Options{Seeds: *seeds, OutDir: *outDir}
+	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs}
 	switch *scale {
 	case "test":
 		o.Scale = stamp.Test
@@ -56,6 +66,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "\nrun `rtmlab -list` for experiment ids, or `rtmlab all`")
 		os.Exit(2)
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	run := func(id string) bool {
 		for _, e := range exps {
 			if e.ID == id {
@@ -73,6 +98,20 @@ func main() {
 		if !run(id) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialise the retained heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

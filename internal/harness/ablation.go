@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 
 	"rtmlab/internal/arch"
 	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/runner"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
 )
@@ -25,15 +27,27 @@ func AblationRetries(w io.Writer, o Options) {
 	if scale == stamp.Full {
 		scale = stamp.Small // the sweep repeats the run six times
 	}
-	for _, retries := range []int{1, 2, 4, 8, 16, 32} {
+	budgets := []int{1, 2, 4, 8, 16, 32}
+	type pointOut struct {
+		row  []string
+		note string
+	}
+	outs := runner.Map(o.Jobs, len(budgets), func(i int) pointOut {
+		retries := budgets[i]
 		res, err := stamp.Run(stamp.NewIntruder(scale, false), tm.HTM, 4, 42,
 			func(sys *tm.System) { sys.MaxRetries = retries })
 		if err != nil {
-			t.Note("max_retries=%d failed: %v", retries, err)
+			return pointOut{note: fmt.Sprintf("max_retries=%d failed: %v", retries, err)}
+		}
+		return pointOut{row: []string{itoa(retries), itoa(int(res.Cycles / 1e6)),
+			itoa(int(res.Fallbacks)), itoa(int(res.Lock)), f3(res.AbortRate)}}
+	})
+	for _, p := range outs {
+		if p.note != "" {
+			t.Note("%s", p.note)
 			continue
 		}
-		t.AddRow(itoa(retries), itoa(int(res.Cycles/1e6)), itoa(int(res.Fallbacks)),
-			itoa(int(res.Lock)), f3(res.AbortRate))
+		t.AddRow(p.row...)
 	}
 	t.Note("too few retries serialise through the lock; too many waste work on hopeless")
 	t.Note("transactions — the paper's choice of 8 sits on the flat part of the curve")
@@ -53,13 +67,15 @@ func AblationLockArray(w io.Writer, o Options) {
 	tuneLoops(&p, o)
 	seqSys := tm.NewSystem(arch.Haswell(), tm.Seq)
 	seq := eigenbench.Run(seqSys, p.Sequential(), 1)
-	for _, log2 := range []int{14, 16, 18, 20, 21} {
+	log2s := []int{14, 16, 18, 20, 21}
+	addRows(t, runner.Map(o.Jobs, len(log2s), func(i int) []string {
+		log2 := log2s[i]
 		cfg := arch.Haswell()
 		cfg.STM.LockArrayLog2 = log2
 		r := eigenbench.Run(tm.NewSystem(cfg, tm.STM), p, 1)
-		t.AddRow(itoa(log2), itoa((1<<uint(log2))*8>>20), f3(r.AbortRate),
-			f2(float64(seq.Cycles)/float64(r.Cycles)))
-	}
+		return []string{itoa(log2), itoa((1 << uint(log2)) * 8 >> 20), f3(r.AbortRate),
+			f2(float64(seq.Cycles) / float64(r.Cycles))}
+	}))
 	t.Note("a two-sided tradeoff: small arrays alias disjoint addresses onto the same lock and")
 	t.Note("abort transactions that never conflict, but large arrays add megabytes of metadata")
 	t.Note("footprint that competes with the data for cache — TinySTM's own tuning guide notes both")
@@ -74,7 +90,9 @@ func AblationTick(w io.Writer, o Options) {
 		Title:  "Timer tick period vs the transaction-duration wall",
 		Header: []string{"tick_Mcycles", "abort@100K", "abort@1M", "abort@10M"},
 	}
-	for _, period := range []uint64{1_000_000, 3_000_000, 7_500_000, 15_000_000} {
+	periods := []uint64{1_000_000, 3_000_000, 7_500_000, 15_000_000}
+	addRows(t, runner.Map(o.Jobs, len(periods), func(i int) []string {
+		period := periods[i]
 		cfg := arch.Haswell()
 		cfg.TSX.TickPeriod = period
 		row := []string{f2(float64(period) / 1e6)}
@@ -86,8 +104,8 @@ func AblationTick(w io.Writer, o Options) {
 			reads := int(dur / (cfg.Lat.L1Hit + 1))
 			row = append(row, f3(durationAbortRate(cfg, reads, trials)))
 		}
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("the wall sits at the tick period: a 1kHz kernel (3.4M cycles) would abort")
 	t.Note("all transactions ~3x shorter than the paper's observed 10M-cycle limit")
 	Emit(w, o, t)
@@ -103,7 +121,9 @@ func AblationReadSet(w io.Writer, o Options) {
 		Title:  "Read-set tracking level vs the read-capacity wall",
 		Header: []string{"tracking", "largest_commit", "first_abort"},
 	}
-	for _, level := range []int{3, 2} {
+	levels := []int{3, 2}
+	addRows(t, runner.Map(o.Jobs, len(levels), func(i int) []string {
+		level := levels[i]
 		cfg := arch.Haswell()
 		cfg.TSX.ReadSetLevel = level
 		cfg.TSX.TickPeriod = 0
@@ -122,8 +142,8 @@ func AblationReadSet(w io.Writer, o Options) {
 		if failAt == 1 {
 			abort = itoa(bound + 1)
 		}
-		t.AddRow(name, commit, abort)
-	}
+		return []string{name, commit, abort}
+	}))
 	t.Note("Haswell's choice of the 8MB inclusive L3 buys a 32x larger read set than an")
 	t.Note("L2-bound design — the reason Fig. 3's RTM tolerates multi-megabyte working sets")
 	Emit(w, o, t)
@@ -138,7 +158,9 @@ func AblationMemBW(w io.Writer, o Options) {
 		Title:  "DRAM bandwidth model vs the Fig. 3 dip (4MB/thread working sets)",
 		Header: []string{"gap_cycles", "approx_GB/s", "rtm_speedup", "tinystm_speedup"},
 	}
-	for _, gap := range []uint64{0, 8, 16, 32, 64} {
+	gaps := []uint64{0, 8, 16, 32, 64}
+	addRows(t, runner.Map(o.Jobs, len(gaps), func(i int) []string {
+		gap := gaps[i]
 		cfg := arch.Haswell()
 		cfg.Lat.MemBandwidthGap = gap
 		p := eigenbench.Default(4 << 20)
@@ -150,10 +172,10 @@ func AblationMemBW(w io.Writer, o Options) {
 		if gap > 0 {
 			gbs = f2(64 * cfg.FreqGHz / float64(gap))
 		}
-		t.AddRow(itoa(int(gap)), gbs,
-			f2(float64(seq.Cycles)/float64(rtm.Cycles)),
-			f2(float64(seq.Cycles)/float64(stm.Cycles)))
-	}
+		return []string{itoa(int(gap)), gbs,
+			f2(float64(seq.Cycles) / float64(rtm.Cycles)),
+			f2(float64(seq.Cycles) / float64(stm.Cycles))}
+	}))
 	t.Note("four threads' concurrent miss streams queue on the channel while the sequential")
 	t.Note("baseline has it to itself; at realistic DDR3 bandwidth (gap ~12-16) the effect is a")
 	t.Note("few percent, growing sharply once demand exceeds channel capacity (gap >= 32)")
@@ -171,7 +193,13 @@ func AblationPrefetch(w io.Writer, o Options) {
 		Header: []string{"config", "stream_Kcyc", "stream_misses", "genome_Kcyc", "prefetches"},
 	}
 	const streamLines = 16384 // 1 MB sequential scan
-	for _, on := range []bool{false, true} {
+	modes := []bool{false, true}
+	type pointOut struct {
+		row  []string
+		note string
+	}
+	outs := runner.Map(o.Jobs, len(modes), func(i int) pointOut {
+		on := modes[i]
 		cfg := arch.Haswell()
 		cfg.Lat.PrefetchNextLine = on
 		sys := tm.NewSystem(cfg, tm.Seq)
@@ -184,15 +212,22 @@ func AblationPrefetch(w io.Writer, o Options) {
 			s.Arch.Lat.PrefetchNextLine = on
 		})
 		if err != nil {
-			t.Note("genome failed: %v", err)
-			continue
+			return pointOut{note: fmt.Sprintf("genome failed: %v", err)}
 		}
 		name := "off"
 		if on {
 			name = "on"
 		}
-		t.AddRow(name, itoa(int(scan.Cycles/1e3)), itoa(int(scan.MemStats.MemAccesses)),
-			itoa(int(res.Cycles/1e3)), itoa(int(res.Counters["prefetches"])))
+		return pointOut{row: []string{name, itoa(int(scan.Cycles / 1e3)),
+			itoa(int(scan.MemStats.MemAccesses)),
+			itoa(int(res.Cycles / 1e3)), itoa(int(res.Counters["prefetches"]))}}
+	})
+	for _, p := range outs {
+		if p.note != "" {
+			t.Note("%s", p.note)
+			continue
+		}
+		t.AddRow(p.row...)
 	}
 	t.Note("the streamer halves demand misses on the scan but pollutes the pointer-chasing")
 	t.Note("hash walks of genome; it is off in the calibrated configuration because every")
@@ -207,12 +242,14 @@ func AblationL1(w io.Writer, o Options) {
 		Title:  "L1 data-cache size vs the RTM write-set wall",
 		Header: []string{"l1_KB", "ways", "largest_commit", "first_abort"},
 	}
-	for _, geom := range []arch.CacheGeom{
+	geoms := []arch.CacheGeom{
 		{SizeBytes: 16 << 10, Ways: 8},
 		{SizeBytes: 32 << 10, Ways: 8},
 		{SizeBytes: 32 << 10, Ways: 4},
 		{SizeBytes: 64 << 10, Ways: 8},
-	} {
+	}
+	addRows(t, runner.Map(o.Jobs, len(geoms), func(i int) []string {
+		geom := geoms[i]
 		cfg := arch.Haswell()
 		cfg.L1 = geom
 		cfg.TSX.TickPeriod = 0
@@ -226,8 +263,8 @@ func AblationL1(w io.Writer, o Options) {
 		if failAt == 1 {
 			abort = itoa(lines + 1)
 		}
-		t.AddRow(itoa(geom.SizeBytes>>10), itoa(geom.Ways), commit, abort)
-	}
+		return []string{itoa(geom.SizeBytes >> 10), itoa(geom.Ways), commit, abort}
+	}))
 	t.Note("the wall tracks the L1 line count exactly (sequential lines fill sets evenly);")
 	t.Note("random write sets hit the wall earlier via set-associativity conflicts")
 	Emit(w, o, t)

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/stamp"
+	"rtmlab/internal/tm"
+)
+
+// TestFig3ParallelDeterminism asserts the runner's core guarantee: a
+// representative figure produces byte-identical tables and CSVs whether
+// the points run sequentially (-j 1) or on 8 workers. Results are
+// collected by point index, and every point owns its simulator, so
+// worker count must never leak into the output.
+func TestFig3ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full fig3 at test scale")
+	}
+	run := func(jobs int) (string, []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		o := Options{Scale: stamp.Test, Seeds: 1, OutDir: dir, Jobs: jobs}
+		var buf bytes.Buffer
+		Fig3(&buf, o)
+		csv, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return buf.String(), csv
+	}
+	seqOut, seqCSV := run(1)
+	parOut, parCSV := run(8)
+	if seqOut != parOut {
+		t.Errorf("fig3 table differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqOut, parOut)
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("fig3 CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqCSV, parCSV)
+	}
+}
+
+// TestPointDeterminismUnderFastPaths asserts that repeated same-seed runs
+// of a single experiment point yield identical cycle/energy/abort
+// numbers — the memoized cache/page fast paths and the replace-min
+// scheduler handoff must be timing-neutral.
+func TestPointDeterminismUnderFastPaths(t *testing.T) {
+	p := eigenbench.Default(16 << 10)
+	p.Loops = 60
+	for _, backend := range []tm.Backend{tm.HTM, tm.STM} {
+		r1 := eigenbench.Run(tm.NewSystem(arch.Haswell(), backend), p, 7)
+		r2 := eigenbench.Run(tm.NewSystem(arch.Haswell(), backend), p, 7)
+		if r1.Cycles != r2.Cycles || r1.Aborts != r2.Aborts ||
+			r1.Instr != r2.Instr || r1.EnergyJ != r2.EnergyJ {
+			t.Errorf("%v: same-seed runs diverge: %+v vs %+v", backend, r1, r2)
+		}
+	}
+}

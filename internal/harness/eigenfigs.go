@@ -6,6 +6,7 @@ import (
 
 	"rtmlab/internal/arch"
 	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/runner"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
 )
@@ -96,15 +97,16 @@ func Fig3(w io.Writer, o Options) {
 	case stamp.Full:
 		sizes = append(sizes, 32<<20, 64<<20, 128<<20)
 	}
-	for _, ws := range sizes {
+	addRows(t, runner.Map(o.Jobs, len(sizes), func(i int) []string {
+		ws := sizes[i]
 		p := eigenbench.Default(ws)
 		tuneLoops(&p, o)
 		r := comparePoint(o, p, []tm.Backend{tm.HTM, tm.STM})
 		row := []string{fmt.Sprintf("%dKB", ws>>10)}
 		row = append(row, r[tm.HTM].cells()...)
 		row = append(row, r[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.3: RTM wins below ~1MB; both dip at 4MB/thread (16MB total > L3, seq 4MB fits);")
 	t.Note("RTM abort spike near L3; TinySTM false conflicts rise sharply at 16MB; RTM energy-efficient <= 1MB")
 	Emit(w, o, t)
@@ -121,7 +123,8 @@ func Fig4(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		lengths = []int{10, 100, 520}
 	}
-	for _, n := range lengths {
+	addRows(t, runner.Map(o.Jobs, len(lengths), func(i int) []string {
+		n := lengths[i]
 		wr := n / 10
 		rd := n - wr
 		mk := func(ws int) eigenbench.Params {
@@ -136,8 +139,8 @@ func Fig4(w io.Writer, o Options) {
 		row = append(row, r16[tm.HTM].cells()...)
 		row = append(row, r256[tm.HTM].cells()...)
 		row = append(row, r256[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.4: RTM(16KB) wins at all lengths; RTM(256KB) drops sharply past ~100 accesses")
 	t.Note("(random addresses over more L1 sets evict write-set lines); STM insensitive to WS")
 	Emit(w, o, t)
@@ -154,7 +157,8 @@ func Fig5(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		pols = []float64{0, 0.4, 1.0}
 	}
-	for _, pol := range pols {
+	addRows(t, runner.Map(o.Jobs, len(pols), func(i int) []string {
+		pol := pols[i]
 		wr := int(pol*100 + 0.5)
 		mk := func(ws int) eigenbench.Params {
 			p := eigenbench.Default(ws)
@@ -168,8 +172,8 @@ func Fig5(w io.Writer, o Options) {
 		row = append(row, r16[tm.HTM].cells()...)
 		row = append(row, r256[tm.HTM].cells()...)
 		row = append(row, r256[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.5: RTM(16KB) symmetric; RTM(256KB) degrades with pollution; TinySTM wins past ~0.4")
 	Emit(w, o, t)
 }
@@ -185,7 +189,8 @@ func Fig6(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		locs = []float64{0, 0.5, 1.0}
 	}
-	for _, loc := range locs {
+	addRows(t, runner.Map(o.Jobs, len(locs), func(i int) []string {
+		loc := locs[i]
 		mk := func(ws int) eigenbench.Params {
 			p := eigenbench.Default(ws)
 			p.Locality = loc
@@ -198,8 +203,8 @@ func Fig6(w io.Writer, o Options) {
 		row = append(row, r16[tm.HTM].cells()...)
 		row = append(row, r256[tm.HTM].cells()...)
 		row = append(row, r256[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.6: RTM(16KB) flat; RTM(256KB) improves with locality (fewer L1 write evictions);")
 	t.Note("TinySTM degrades as locality rises (per-access bookkeeping is not amortised on repeats)")
 	Emit(w, o, t)
@@ -216,18 +221,18 @@ func Fig7(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		hots = []int{3000, 100, 24}
 	}
-	for _, hot := range hots {
+	addRows(t, runner.Map(o.Jobs, len(hots), func(i int) []string {
 		p := eigenbench.Default(64 << 10)
 		p.R1, p.W1 = 9, 1
 		p.R2, p.W2 = 81, 9
-		p.HotWords = hot
+		p.HotWords = hots[i]
 		tuneLoops(&p, o)
 		r := comparePoint(o, p, []tm.Backend{tm.HTM, tm.STM})
 		row := []string{f3(p.ConflictProbability())}
 		row = append(row, r[tm.HTM].cells()...)
 		row = append(row, r[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.7: probability computed at word granularity (valid for TinySTM); RTM's line-level")
 	t.Note("detection sees higher effective contention, so TinySTM wins at low contention while RTM stays flat")
 	Emit(w, o, t)
@@ -244,7 +249,8 @@ func Fig8(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		preds = []float64{0.125, 0.5, 0.875}
 	}
-	for _, pred := range preds {
+	addRows(t, runner.Map(o.Jobs, len(preds), func(i int) []string {
+		pred := preds[i]
 		p := eigenbench.Default(256 << 10)
 		p.ColdWords = p.MildWords
 		outside := float64(p.TxLen()) * (1 - pred) / pred
@@ -255,8 +261,8 @@ func Fig8(w io.Writer, o Options) {
 		row := []string{f3(pred)}
 		row = append(row, r[tm.HTM].cells()...)
 		row = append(row, r[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.8: both degrade as the transactional fraction grows; TinySTM has more overhead at")
 	t.Note("equal predominance because it instruments every transactional access")
 	Emit(w, o, t)
@@ -273,7 +279,8 @@ func Fig9(w io.Writer, o Options) {
 	if o.Scale == stamp.Test {
 		counts = []int{1, 4, 8}
 	}
-	for _, n := range counts {
+	addRows(t, runner.Map(o.Jobs, len(counts), func(i int) []string {
+		n := counts[i]
 		mk := func(ws int) eigenbench.Params {
 			p := eigenbench.Default(ws)
 			p.Threads = n
@@ -286,8 +293,8 @@ func Fig9(w io.Writer, o Options) {
 		row = append(row, r16[tm.HTM].cells()...)
 		row = append(row, r256[tm.HTM].cells()...)
 		row = append(row, r16[tm.STM].cells()...)
-		t.AddRow(row...)
-	}
+		return row
+	}))
 	t.Note("paper Fig.9: RTM scales to 4 threads; hyper-threading halves the effective L1 write set and")
 	t.Note("hurts the 256KB case; TinySTM scales to 8; RTM(16KB) is the most energy-efficient")
 	Emit(w, o, t)

@@ -25,6 +25,12 @@ type Options struct {
 	Scale  stamp.Scale // input scale for STAMP and sweep density
 	Seeds  int         // independent runs to average (paper: 10)
 	OutDir string      // CSV output directory; "" disables
+	// Jobs is the worker count for cross-point fan-out (see
+	// internal/runner): experiment points are independent simulations, so
+	// they run concurrently and are collected by point index, making the
+	// output byte-identical at any worker count. Jobs <= 0 means one
+	// worker per CPU; Jobs == 1 is the fully sequential behavior.
+	Jobs int
 }
 
 // DefaultOptions mirror a laptop-friendly but figure-quality setup.
@@ -43,6 +49,16 @@ type Table struct {
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// addRows appends index-ordered rows produced by a runner fan-out,
+// skipping nil entries (points that only emitted notes or errors).
+func addRows(t *Table, rows [][]string) {
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
+	}
+}
 
 // Note appends an annotation line.
 func (t *Table) Note(format string, args ...any) {

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 
+	"rtmlab/internal/runner"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
 )
@@ -26,12 +28,16 @@ func HybridStudy(w io.Writer, o Options) {
 		func() stamp.Benchmark { return stamp.NewVacation(o.Scale, false) },
 		func() stamp.Benchmark { return stamp.NewIntruder(o.Scale, false) },
 	}
-	for _, mk := range apps {
+	type pointOut struct {
+		row  []string
+		note string
+	}
+	outs := runner.Map(o.Jobs, len(apps), func(i int) pointOut {
+		mk := apps[i]
 		name := mk().Name()
 		seq, err := stamp.Run(mk(), tm.Seq, 1, 42, nil)
 		if err != nil {
-			t.Note("%s seq failed: %v", name, err)
-			continue
+			return pointOut{note: fmt.Sprintf("%s seq failed: %v", name, err)}
 		}
 		norm := func(backend tm.Backend) (string, stamp.Result) {
 			res, err := stamp.Run(mk(), backend, 4, 42, nil)
@@ -43,9 +49,16 @@ func HybridStudy(w io.Writer, o Options) {
 		lockN, lockRes := norm(tm.HTM)
 		hybN, hybRes := norm(tm.Hybrid)
 		stmN, _ := norm(tm.STM)
-		t.AddRow(name, lockN, hybN, stmN,
+		return pointOut{row: []string{name, lockN, hybN, stmN,
 			itoa(int(lockRes.Fallbacks)),
-			itoa(int(hybRes.Counters["tm:hybrid.fallback"])))
+			itoa(int(hybRes.Counters["tm:hybrid.fallback"]))}}
+	})
+	for _, p := range outs {
+		if p.note != "" {
+			t.Note("%s", p.note)
+			continue
+		}
+		t.AddRow(p.row...)
 	}
 	t.Note("labyrinth is the acid test: every routing transaction overflows, so the lock")
 	t.Note("fallback serialises the whole application while the software fallback keeps routing")

@@ -7,6 +7,7 @@ import (
 	"rtmlab/internal/ds"
 	"rtmlab/internal/htm"
 	"rtmlab/internal/mem"
+	"rtmlab/internal/runner"
 	"rtmlab/internal/sim"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
@@ -44,7 +45,8 @@ func Fig1(w io.Writer, o Options) {
 	sizes := []int{1, 64, 128, 256, 384, 448, 512, 576, 768, 1024, 4096,
 		16384, 65536, 98304, 122880, 131072, 147456, 196608}
 	trials := 6
-	for _, n := range sizes {
+	addRows(t, runner.Map(o.Jobs, len(sizes), func(i int) []string {
+		n := sizes[i]
 		readRate := capacityAbortRate(cfg, n, false, trials)
 		writeRate := -1.0
 		if n <= 4096 {
@@ -54,8 +56,8 @@ func Fig1(w io.Writer, o Options) {
 		if writeRate >= 0 {
 			wr = f3(writeRate)
 		}
-		t.AddRow(itoa(n), f3(readRate), wr)
-	}
+		return []string{itoa(n), f3(readRate), wr}
+	}))
 	t.Note("paper: write wall at 512 lines (L1 size), read wall at 128K lines (L3 size)")
 	t.Note("L1 = %d lines, L3 = %d lines", cfg.L1.Lines(), cfg.L3.Lines())
 	Emit(w, o, t)
@@ -98,8 +100,10 @@ func Fig2(w io.Writer, o Options) {
 		Title:  "RTM abort rate vs transaction duration (timer interrupts)",
 		Header: []string{"approx_cycles", "abort_rate", ""},
 	}
-	for _, target := range []uint64{1_000, 10_000, 30_000, 100_000, 300_000,
-		1_000_000, 3_000_000, 10_000_000, 20_000_000} {
+	targets := []uint64{1_000, 10_000, 30_000, 100_000, 300_000,
+		1_000_000, 3_000_000, 10_000_000, 20_000_000}
+	addRows(t, runner.Map(o.Jobs, len(targets), func(i int) []string {
+		target := targets[i]
 		// Enough trials that the expected abort count is ~2 even at low
 		// rates (rate ~ duration / tick period).
 		trials := int(20_000_000 / target)
@@ -111,8 +115,8 @@ func Fig2(w io.Writer, o Options) {
 		}
 		reads := int(target / (cfg.Lat.L1Hit + 1))
 		rate := durationAbortRate(cfg, reads, trials)
-		t.AddRow(itoa(int(target)), f3(rate), bar(rate, 1, 30))
-	}
+		return []string{itoa(int(target)), f3(rate), bar(rate, 1, 30)}
+	}))
 	t.Note("tick period = %d cycles (+ jitter); paper: effects beyond 30K, all abort >10M", cfg.TSX.TickPeriod)
 	Emit(w, o, t)
 }
@@ -158,11 +162,13 @@ func Table1(w io.Writer, o Options) {
 		threads   int
 		localWork uint64
 	}
-	for _, row := range []cfgRow{
+	rows := []cfgRow{
 		{"none", 1, 0},
 		{"low", 4, 260},
 		{"high", 4, 0},
-	} {
+	}
+	addRows(t, runner.Map(o.Jobs, len(rows), func(i int) []string {
+		row := rows[i]
 		lockT := queueDrain(tm.Lock, row.threads, elems, row.localWork)
 		var noneS string
 		if row.threads == 1 {
@@ -172,10 +178,10 @@ func Table1(w io.Writer, o Options) {
 		}
 		casT := queueDrainCAS(row.threads, elems, row.localWork)
 		rtmT := queueDrain(tm.HTMBare, row.threads, elems, row.localWork)
-		t.AddRow(row.name, noneS, "1.00",
-			f2(float64(casT)/float64(lockT)),
-			f2(float64(rtmT)/float64(lockT)))
-	}
+		return []string{row.name, noneS, "1.00",
+			f2(float64(casT) / float64(lockT)),
+			f2(float64(rtmT) / float64(lockT))}
+	}))
 	t.Note("paper Table I: none 0.64 / cas 1.05 / rtm 1.45 (single thread); low: cas 0.64 rtm 0.69; high: cas 0.64 rtm 0.47")
 	Emit(w, o, t)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"rtmlab/internal/runner"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/stats"
 	"rtmlab/internal/tm"
@@ -62,12 +63,24 @@ func Fig10to12(w io.Writer, o Options) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	for _, mk := range stampApps(o) {
+	// One fan-out point per application: each point runs its own
+	// sequential baseline plus every backend x thread-count x seed
+	// combination on private simulator state, and returns finished rows.
+	// Collection by app index keeps the tables byte-identical to a
+	// sequential run.
+	type appResult struct {
+		timeRows, energyRows, abortRows [][]string
+		errs                            []string
+	}
+	apps := stampApps(o)
+	results := runner.Map(o.Jobs, len(apps), func(ai int) appResult {
+		mk := apps[ai]
+		var out appResult
 		name := mk().Name()
 		seqRes, err := stamp.Run(mk(), tm.Seq, 1, 42, nil)
 		if err != nil {
-			fmt.Fprintf(w, "  ! %s sequential failed: %v\n", name, err)
-			continue
+			out.errs = append(out.errs, fmt.Sprintf("  ! %s sequential failed: %v", name, err))
+			return out
 		}
 		for _, backend := range []tm.Backend{tm.HTM, tm.STM} {
 			var tRow, eRow []string
@@ -81,7 +94,7 @@ func Fig10to12(w io.Writer, o Options) {
 				for s := 0; s < seeds; s++ {
 					res, err := stamp.Run(mk(), backend, n, 42+uint64(97*s), nil)
 					if err != nil {
-						fmt.Fprintf(w, "  ! %s/%v/%d: %v\n", name, backend, n, err)
+						out.errs = append(out.errs, fmt.Sprintf("  ! %s/%v/%d: %v", name, backend, n, err))
 						failed = true
 						break
 					}
@@ -109,14 +122,26 @@ func Fig10to12(w io.Writer, o Options) {
 						}
 						return f3(float64(v) / total)
 					}
-					abort12.AddRow(name, itoa(n), f3(res.AbortRate),
+					out.abortRows = append(out.abortRows, []string{
+						name, itoa(n), f3(res.AbortRate),
 						frac(res.ConflictOrReadCap), frac(res.WriteCapacity),
-						frac(res.Lock), frac(res.Misc3), frac(res.Misc5))
+						frac(res.Lock), frac(res.Misc3), frac(res.Misc5)})
 				}
 			}
-			time10.AddRow(append([]string{name, backend.String()}, pad(tRow)...)...)
-			energy11.AddRow(append([]string{name, backend.String()}, pad(eRow)...)...)
+			out.timeRows = append(out.timeRows,
+				append([]string{name, backend.String()}, pad(tRow)...))
+			out.energyRows = append(out.energyRows,
+				append([]string{name, backend.String()}, pad(eRow)...))
 		}
+		return out
+	})
+	for _, r := range results {
+		for _, e := range r.errs {
+			fmt.Fprintln(w, e)
+		}
+		addRows(time10, r.timeRows)
+		addRows(energy11, r.energyRows)
+		addRows(abort12, r.abortRows)
 	}
 	time10.Note("paper Fig.10: bayes/labyrinth/yada favour TinySTM; kmeans/ssca2 favour RTM;")
 	time10.Note("genome/intruder/vacation comparable to 4 threads, TinySTM ahead at 8 (HT resource sharing)")
@@ -148,20 +173,36 @@ func caseStudy(w io.Writer, o Options, id, title, site string,
 		n   int
 		res stamp.Result
 	}
-	collect := func(mk func() stamp.Benchmark, mod func(*tm.System)) []run {
+	// Fan out the base and optimized variants at every thread count as
+	// independent points (each stamp.Run builds a private simulator);
+	// results and error lines are assembled in point order afterwards.
+	type runPoint struct {
+		res stamp.Result
+		err error
+	}
+	nt := len(threads)
+	points := runner.Map(o.Jobs, 2*nt, func(i int) runPoint {
+		mk, mod := mkBase, (func(*tm.System))(nil)
+		if i >= nt {
+			mk, mod = mkOpt, optMod
+		}
+		res, err := stamp.Run(mk(), tm.HTM, threads[i%nt], 42, mod)
+		return runPoint{res, err}
+	})
+	collect := func(off int) []run {
 		var out []run
-		for _, n := range threads {
-			res, err := stamp.Run(mk(), tm.HTM, n, 42, mod)
-			if err != nil {
-				fmt.Fprintf(w, "  ! %s/%d threads: %v\n", id, n, err)
+		for j, n := range threads {
+			p := points[off+j]
+			if p.err != nil {
+				fmt.Fprintf(w, "  ! %s/%d threads: %v\n", id, n, p.err)
 				continue
 			}
-			out = append(out, run{n, res})
+			out = append(out, run{n, p.res})
 		}
 		return out
 	}
-	baseRuns := collect(mkBase, nil)
-	optRuns := collect(mkOpt, optMod)
+	baseRuns := collect(0)
+	optRuns := collect(nt)
 	baseAt := map[int]uint64{}
 	for _, r := range baseRuns {
 		baseAt[r.n] = r.res.Cycles

@@ -94,6 +94,10 @@ func (a Abort) Error() string {
 	return fmt.Sprintf("rtm abort: cause=%v status=%#x", a.Cause, a.Status)
 }
 
+// noLine is the empty value of the last-line memos (an impossible line
+// address: it would require a byte address beyond 2^64).
+const noLine = ^uint64(0)
+
 type undoEntry struct {
 	addr uint64
 	old  int64
@@ -115,6 +119,15 @@ type Txn struct {
 	readSet  map[uint64]struct{} // line addresses
 	writeSet map[uint64]struct{}
 	undo     []undoEntry
+
+	// lastRead/lastWrite memoize the most recent line confirmed present in
+	// the respective set. Set membership is a strong invariant: a line in a
+	// live transaction's read (write) set can have no foreign writer
+	// (tracker) in the directory — any such access would have aborted this
+	// transaction and emptied the sets. A memo hit therefore skips both the
+	// set lookup and the conflict probe. Reset whenever the sets empty.
+	lastRead  uint64
+	lastWrite uint64
 
 	pending      bool // rolled back by a remote event; panic at next op
 	pendingAbort Abort
@@ -181,6 +194,8 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 	tx.active = false
 	tx.nest = 0
 	tx.pending = false
+	tx.lastRead = noLine
+	tx.lastWrite = noLine
 	prev := p.PreOp
 	p.PreOp = func() {
 		if prev != nil {
@@ -279,23 +294,29 @@ func (t *Txn) Load(addr uint64) int64 {
 	s := t.sys
 	t.ensureActive("Load")
 	la := mem.LineAddr(addr)
-	if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != t.proc.ID() {
-		// Requester wins: the writer's transaction dies.
-		s.abortTx(s.txs[e.writer], Abort{
-			Status: StatusConflict | StatusRetry, Cause: CauseConflict,
-			ConflictLine: la, ByThread: t.proc.ID(),
-		})
-	}
-	if _, ok := t.readSet[la]; !ok {
-		t.readSet[la] = struct{}{}
-		e, present := s.dir[la]
-		if !present {
-			e.writer = -1
+	if la != t.lastRead {
+		if _, ok := t.readSet[la]; !ok {
+			// Conflict probe only for lines not yet in our read set: once a
+			// line is ours, no foreign writer can appear without aborting us
+			// first (requester wins in Store/RawStore/RawRMW).
+			if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != t.proc.ID() {
+				// Requester wins: the writer's transaction dies.
+				s.abortTx(s.txs[e.writer], Abort{
+					Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+					ConflictLine: la, ByThread: t.proc.ID(),
+				})
+			}
+			t.readSet[la] = struct{}{}
+			e, present := s.dir[la]
+			if !present {
+				e.writer = -1
+			}
+			e.readers |= 1 << uint(t.proc.ID())
+			s.dir[la] = e
 		}
-		e.readers |= 1 << uint(t.proc.ID())
-		s.dir[la] = e
+		t.lastRead = la
+		t.checkPageFault(addr)
 	}
-	t.checkPageFault(addr)
 	v := t.proc.Load(addr) // may fire eviction hooks -> pending abort
 	t.deliverPending()
 	return v
@@ -307,32 +328,38 @@ func (t *Txn) Store(addr uint64, val int64) {
 	t.ensureActive("Store")
 	la := mem.LineAddr(addr)
 	self := t.proc.ID()
-	if e, ok := s.dir[la]; ok {
-		if e.writer >= 0 && int(e.writer) != self {
-			s.abortTx(s.txs[e.writer], Abort{
-				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
-				ConflictLine: la, ByThread: self,
-			})
-		}
-		if readers := e.readers &^ (1 << uint(self)); readers != 0 {
-			for tid := 0; readers != 0; tid++ {
-				if readers&(1<<uint(tid)) != 0 {
-					readers &^= 1 << uint(tid)
-					s.abortTx(s.txs[tid], Abort{
+	if la != t.lastWrite {
+		if _, ok := t.writeSet[la]; !ok {
+			// Conflict probe only for lines not yet in our write set: while
+			// we own a line as writer, any foreign reader's Load would have
+			// requester-wins-aborted us, so no foreign trackers can exist.
+			if e, ok := s.dir[la]; ok {
+				if e.writer >= 0 && int(e.writer) != self {
+					s.abortTx(s.txs[e.writer], Abort{
 						Status: StatusConflict | StatusRetry, Cause: CauseConflict,
 						ConflictLine: la, ByThread: self,
 					})
 				}
+				if readers := e.readers &^ (1 << uint(self)); readers != 0 {
+					for tid := 0; readers != 0; tid++ {
+						if readers&(1<<uint(tid)) != 0 {
+							readers &^= 1 << uint(tid)
+							s.abortTx(s.txs[tid], Abort{
+								Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+								ConflictLine: la, ByThread: self,
+							})
+						}
+					}
+				}
 			}
+			t.writeSet[la] = struct{}{}
+			e := s.dir[la]
+			e.writer = int8(self)
+			s.dir[la] = e
 		}
+		t.lastWrite = la
+		t.checkPageFault(addr)
 	}
-	if _, ok := t.writeSet[la]; !ok {
-		t.writeSet[la] = struct{}{}
-		e := s.dir[la]
-		e.writer = int8(self)
-		s.dir[la] = e
-	}
-	t.checkPageFault(addr)
 	t.undo = append(t.undo, undoEntry{addr: addr, old: s.h.Peek(addr)})
 	// Timing first: if the store's own eviction side-effects abort this
 	// transaction, the speculative value must never land.
@@ -444,7 +471,8 @@ func (s *System) countAbort(a Abort) {
 }
 
 // clearSets removes tx's lines from the global directory and empties its
-// read and write sets.
+// read and write sets (invalidating the last-line memos, whose validity
+// is tied to set membership).
 func (s *System) clearSets(tx *Txn) {
 	tid := tx.proc.ID()
 	for la := range tx.readSet {
@@ -456,7 +484,6 @@ func (s *System) clearSets(tx *Txn) {
 				s.dir[la] = e
 			}
 		}
-		delete(tx.readSet, la)
 	}
 	for la := range tx.writeSet {
 		if e, ok := s.dir[la]; ok {
@@ -469,8 +496,11 @@ func (s *System) clearSets(tx *Txn) {
 				s.dir[la] = e
 			}
 		}
-		delete(tx.writeSet, la)
 	}
+	clear(tx.readSet)
+	clear(tx.writeSet)
+	tx.lastRead = noLine
+	tx.lastWrite = noLine
 }
 
 // onL1Evict implements write-set capacity aborts: a transactionally

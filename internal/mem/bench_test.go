@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"testing"
+
+	"rtmlab/internal/arch"
+)
+
+// BenchmarkLoadHit measures the repeat-line L1 hit path — the single
+// hottest operation in every simulation — which the last-hit memo in
+// cache.lookup and the last-page memo in Memory should keep allocation-
+// free and scan-free.
+func BenchmarkLoadHit(b *testing.B) {
+	h := New(arch.Haswell())
+	h.Load(0, 64) // warm the line into L1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, 64)
+	}
+}
+
+// BenchmarkLoadHitAlternating defeats the single-entry memo on purpose
+// (two lines in different sets) to pin the cost of the full set scan.
+func BenchmarkLoadHitAlternating(b *testing.B) {
+	h := New(arch.Haswell())
+	h.Load(0, 0)
+	h.Load(0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, uint64(i&1)<<12)
+	}
+}
+
+// BenchmarkLoadMiss measures the full-miss path: L1/L2/L3 lookups, an L3
+// install with back-invalidation pressure, and the DRAM fill.
+func BenchmarkLoadMiss(b *testing.B) {
+	h := New(arch.Haswell())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, uint64(i)*arch.LineSize)
+	}
+}
+
+// BenchmarkStoreHit measures the repeat-line store upgrade path.
+func BenchmarkStoreHit(b *testing.B) {
+	h := New(arch.Haswell())
+	h.Store(0, 64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Store(0, 64, int64(i))
+	}
+}
+
+// BenchmarkMemoryReadWrite measures the backing store alone (page-memo
+// fast path on repeat pages).
+func BenchmarkMemoryReadWrite(b *testing.B) {
+	m := NewMemory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i&511) * arch.WordSize
+		m.Write(addr, int64(i))
+		if m.Read(addr) != int64(i) {
+			b.Fatal("readback mismatch")
+		}
+	}
+}

@@ -11,13 +11,20 @@ type line struct {
 	sharers uint64 // bitmask of cores holding a copy
 }
 
-// cache is a set-associative presence tracker with LRU replacement.
+// cache is a set-associative presence tracker with LRU replacement. A
+// single-entry memo of the last hit (lastTag/lastIdx) short-circuits the
+// set scan on repeat-line accesses, which dominate simulated workloads.
+// The memo is a pure hint: every use re-validates tag and valid bit
+// against the stored slot, so stale entries cost one extra compare and
+// never return a wrong line.
 type cache struct {
 	sets    int
 	ways    int
 	setMask uint64
 	lines   []line // sets*ways, row-major per set
 	tick    uint64
+	lastTag uint64
+	lastIdx int32
 }
 
 func newCache(sets, ways int) *cache {
@@ -26,6 +33,7 @@ func newCache(sets, ways int) *cache {
 		ways:    ways,
 		setMask: uint64(sets - 1),
 		lines:   make([]line, sets*ways),
+		lastIdx: -1,
 	}
 }
 
@@ -38,11 +46,20 @@ func (c *cache) set(lineAddr uint64) []line {
 // lookup returns the entry for lineAddr, or nil on a miss. On a hit the LRU
 // stamp is refreshed.
 func (c *cache) lookup(lineAddr uint64) *line {
+	if c.lastTag == lineAddr && c.lastIdx >= 0 {
+		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {
+			c.tick++
+			l.lru = c.tick
+			return l
+		}
+	}
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			c.tick++
 			set[i].lru = c.tick
+			c.lastTag = lineAddr
+			c.lastIdx = int32(int(lineAddr&c.setMask)*c.ways + i)
 			return &set[i]
 		}
 	}

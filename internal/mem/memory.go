@@ -26,46 +26,88 @@ const lineShift = 6 // log2(arch.LineSize)
 // LineAddr returns the cache-line address (addr / 64) of a byte address.
 func LineAddr(addr uint64) uint64 { return addr >> lineShift }
 
-// Memory is the word-granular backing store. Pages are allocated lazily so
-// that sparse multi-hundred-megabyte address spaces stay cheap.
+// Memory is the word-granular backing store. Pages hang off a two-level
+// radix structure — a map of page directories, each covering dirSize
+// contiguous pages (4 MB of address space) — and are allocated lazily so
+// that sparse multi-hundred-megabyte address spaces stay cheap. Two
+// single-entry memos make the common cases O(1) without hashing: the
+// last page resolved (repeat-page accesses) and the last directory
+// (random accesses inside a working set, which rarely leave one 4 MB
+// directory span).
 type Memory struct {
-	pages map[uint64]*[wordsPerPage]int64
+	dirs     map[uint64]*pageDir
+	lastDN   uint64
+	lastDir  *pageDir
+	lastPN   uint64
+	lastPage *[wordsPerPage]int64
+	npages   int
 }
 
 const (
 	pageShift    = 12 // 4 KB pages
 	wordsPerPage = arch.PageSize / arch.WordSize
+	dirShift     = 10 // pages per directory: 1024 (4 MB of address space)
+	dirSize      = 1 << dirShift
+	dirMask      = dirSize - 1
 )
+
+type pageDir = [dirSize]*[wordsPerPage]int64
 
 // NewMemory returns an empty backing store.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[wordsPerPage]int64)}
+	return &Memory{dirs: make(map[uint64]*pageDir)}
 }
 
-func (m *Memory) page(addr uint64) *[wordsPerPage]int64 {
+func wordIndex(addr uint64) uint64 { return (addr % arch.PageSize) / arch.WordSize }
+
+// page resolves addr's page through the last-page and last-directory
+// memos, falling back to one map lookup per directory transition. With
+// allocate set, missing structures are materialised; otherwise nil is
+// returned for untouched pages.
+func (m *Memory) page(addr uint64, allocate bool) *[wordsPerPage]int64 {
 	pn := addr >> pageShift
-	p := m.pages[pn]
-	if p == nil {
-		p = new([wordsPerPage]int64)
-		m.pages[pn] = p
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
 	}
+	dn := pn >> dirShift
+	dir := m.lastDir
+	if dir == nil || dn != m.lastDN {
+		dir = m.dirs[dn]
+		if dir == nil {
+			if !allocate {
+				return nil
+			}
+			dir = new(pageDir)
+			m.dirs[dn] = dir
+		}
+		m.lastDN, m.lastDir = dn, dir
+	}
+	p := dir[pn&dirMask]
+	if p == nil {
+		if !allocate {
+			return nil
+		}
+		p = new([wordsPerPage]int64)
+		dir[pn&dirMask] = p
+		m.npages++
+	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
 // Read returns the word stored at addr (which must be word-aligned).
 func (m *Memory) Read(addr uint64) int64 {
-	pn := addr >> pageShift
-	p := m.pages[pn]
+	p := m.page(addr, false)
 	if p == nil {
 		return 0
 	}
-	return p[(addr%arch.PageSize)/arch.WordSize]
+	return p[wordIndex(addr)]
 }
 
 // Write stores val at the word-aligned address addr.
 func (m *Memory) Write(addr uint64, val int64) {
-	m.page(addr)[(addr%arch.PageSize)/arch.WordSize] = val
+	m.page(addr, true)[wordIndex(addr)] = val
 }
 
 // Pages returns the number of materialised pages (for tests/diagnostics).
-func (m *Memory) Pages() int { return len(m.pages) }
+func (m *Memory) Pages() int { return m.npages }

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/mem"
+)
+
+// BenchmarkYieldFastPath measures the scheduling point when the running
+// thread stays the minimum (heap empty after the sibling finishes): the
+// yield must cost two compares and no channel traffic.
+func BenchmarkYieldFastPath(b *testing.B) {
+	cfg := arch.Haswell()
+	h := mem.New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	Run(cfg, h, 2, 1, nil, func(p *Proc) {
+		if p.ID() == 1 {
+			return // leaves thread 0 alone with an empty runnable heap
+		}
+		for i := 0; i < b.N; i++ {
+			p.Work(1)
+		}
+	})
+}
+
+// BenchmarkYieldHandoff measures the slow path: two threads with
+// identical costs alternate on every operation, so each yield is a full
+// replace-min plus a goroutine handoff.
+func BenchmarkYieldHandoff(b *testing.B) {
+	cfg := arch.Haswell()
+	h := mem.New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	Run(cfg, h, 2, 1, nil, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Work(1)
+		}
+	})
+}
+
+// BenchmarkRegionSetup measures per-region fixed costs (engine, procs,
+// heap, result slices) for a 4-thread region doing minimal work.
+func BenchmarkRegionSetup(b *testing.B) {
+	cfg := arch.Haswell()
+	h := mem.New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, h, 4, 1, nil, func(p *Proc) { p.Work(1) })
+	}
+}

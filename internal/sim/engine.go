@@ -170,20 +170,19 @@ func (p *Proc) Pause() {
 }
 
 // yield hands the CPU model to the runnable thread with the smallest
-// clock. The fast path (this thread is still the minimum) costs nothing.
+// clock. The fast path (this thread is still the minimum, or it is the
+// only live thread) costs two compares and no channel traffic.
 func (p *Proc) yield() {
 	e := p.eng
 	if e.single || len(e.heap) == 0 || p.less(e.heap[0]) {
 		return
 	}
 	// Someone else is earlier (or equal with a smaller id): switch to it.
+	// The ordering check guarantees heap[0] stays the minimum even with p
+	// included, so a single replace-at-root (one sift-down) stands in for
+	// the push+pop pair.
 	p.state = stateRunnable
-	e.push(p)
-	next := e.pop()
-	if next == p { // defensive; cannot happen given the ordering check
-		p.state = stateRunning
-		return
-	}
+	next := e.replaceMin(p)
 	next.state = stateRunning
 	next.rsm <- struct{}{}
 	<-p.rsm
@@ -285,8 +284,9 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 	e := &Engine{
 		Cfg:       cfg,
 		H:         h,
+		procs:     make([]*Proc, 0, n),
+		heap:      make([]*Proc, 0, n),
 		remaining: n,
-		finished:  make(chan struct{}),
 		single:    n == 1,
 		coreLive:  make([]int, cfg.Cores),
 		htNum:     31,
@@ -303,8 +303,10 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 			id:   i,
 			core: i % cfg.Cores,
 			eng:  e,
-			rsm:  make(chan struct{}),
 			Rng:  rng.New(seed*0x9e3779b9 + uint64(i) + 1),
+		}
+		if !e.single {
+			p.rsm = make(chan struct{})
 		}
 		e.procs = append(e.procs, p)
 		e.coreLive[p.core]++
@@ -312,23 +314,41 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 			setup(p)
 		}
 	}
-	for _, p := range e.procs {
-		p := p
-		go func() {
-			<-p.rsm
-			p.state = stateRunning
-			body(p)
-			p.finish()
-		}()
+	if e.single {
+		// Single-threaded regions need no scheduling: run the body inline
+		// on the caller's goroutine, skipping the channels and handoffs
+		// entirely. Every op's yield takes the e.single fast path.
+		p := e.procs[0]
+		p.state = stateRunning
+		body(p)
+		p.state = stateDone
+		e.coreLive[p.core]--
+		e.remaining--
+	} else {
+		e.finished = make(chan struct{})
+		for _, p := range e.procs {
+			p := p
+			go func() {
+				<-p.rsm
+				p.state = stateRunning
+				body(p)
+				p.finish()
+			}()
+		}
+		// Start every thread except the first in the heap; kick off
+		// thread 0.
+		for i := n - 1; i >= 1; i-- {
+			e.push(e.procs[i])
+		}
+		e.procs[0].rsm <- struct{}{}
+		<-e.finished
 	}
-	// Start every thread except the first in the heap; kick off thread 0.
-	for i := n - 1; i >= 1; i-- {
-		e.push(e.procs[i])
-	}
-	e.procs[0].rsm <- struct{}{}
-	<-e.finished
 
-	res := Result{MemStats: h.Stats.Sub(before)}
+	res := Result{
+		MemStats:     h.Stats.Sub(before),
+		ThreadCycles: make([]uint64, 0, n),
+		Instr:        make([]uint64, 0, n),
+	}
 	for _, p := range e.procs {
 		res.ThreadCycles = append(res.ThreadCycles, p.clock)
 		res.Instr = append(res.Instr, p.instr)
@@ -362,7 +382,23 @@ func (e *Engine) pop() *Proc {
 	last := len(e.heap) - 1
 	e.heap[0] = e.heap[last]
 	e.heap = e.heap[:last]
-	i := 0
+	e.siftDown(0)
+	return min
+}
+
+// replaceMin swaps p in for the current minimum and returns the old
+// minimum. Caller guarantees the heap is non-empty and heap[0] orders
+// before p, so the result is identical to push(p) followed by pop() at
+// roughly half the heap work.
+func (e *Engine) replaceMin(p *Proc) *Proc {
+	min := e.heap[0]
+	e.heap[0] = p
+	e.siftDown(0)
+	return min
+}
+
+// siftDown restores the heap property below index i.
+func (e *Engine) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
@@ -373,10 +409,9 @@ func (e *Engine) pop() *Proc {
 			small = r
 		}
 		if small == i {
-			break
+			return
 		}
 		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
 		i = small
 	}
-	return min
 }

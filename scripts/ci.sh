@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI preflight: fast correctness gate run before any expensive experiment
+# sweep. Covers vet, build, the full unit-test suite, and a race-detector
+# pass over the packages with real concurrency (the experiment runner and
+# everything an experiment point touches concurrently).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (runner, sim, mem, harness) =="
+go test -race -short ./internal/runner ./internal/sim ./internal/mem ./internal/harness
+
+echo "ci: all checks passed"

@@ -6,10 +6,8 @@
 set -e
 cd "$(dirname "$0")/.."
 
-echo "== build and test =="
-go build ./...
-go vet ./...
-go test ./... | tee test_output.txt
+echo "== ci preflight =="
+sh scripts/ci.sh | tee test_output.txt
 
 echo "== per-figure benchmarks (CI scale) =="
 go test -bench=. -benchmem -benchtime 1x . | tee bench_output.txt
