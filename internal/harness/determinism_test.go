@@ -43,6 +43,38 @@ func TestFig3ParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestClaimsParallelDeterminism asserts that the claims experiment —
+// which exercises HTM, STM, capacity probes and STAMP in one sweep, and
+// therefore every open-addressed metadata container on its hot path —
+// emits byte-identical tables and CSVs at -j 1 and -j 8. Hash-table
+// layout or iteration order leaking into simulated state would show up
+// here.
+func TestClaimsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full claims sweep at test scale")
+	}
+	run := func(jobs int) (string, []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		o := Options{Scale: stamp.Test, Seeds: 1, OutDir: dir, Jobs: jobs}
+		var buf bytes.Buffer
+		Claims(&buf, o)
+		csv, err := os.ReadFile(filepath.Join(dir, "claims.csv"))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return buf.String(), csv
+	}
+	seqOut, seqCSV := run(1)
+	parOut, parCSV := run(8)
+	if seqOut != parOut {
+		t.Errorf("claims table differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqOut, parOut)
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("claims CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqCSV, parCSV)
+	}
+}
+
 // TestPointDeterminismUnderFastPaths asserts that repeated same-seed runs
 // of a single experiment point yield identical cycle/energy/abort
 // numbers — the memoized cache/page fast paths and the replace-min

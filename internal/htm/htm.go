@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"rtmlab/internal/arch"
+	"rtmlab/internal/lineset"
 	"rtmlab/internal/mem"
 	"rtmlab/internal/perf"
 	"rtmlab/internal/sim"
@@ -116,9 +117,9 @@ type Txn struct {
 	nest   int
 	start  uint64 // clock at xbegin
 
-	readSet  map[uint64]struct{} // line addresses
-	writeSet map[uint64]struct{}
-	undo     []undoEntry
+	readSet  *lineset.Set // line addresses
+	writeSet *lineset.Set
+	undo     []undoEntry // insertion-ordered; rollback replays it in reverse
 
 	// lastRead/lastWrite memoize the most recent line confirmed present in
 	// the respective set. Set membership is a strong invariant: a line in a
@@ -137,10 +138,10 @@ type Txn struct {
 func (t *Txn) Active() bool { return t.active }
 
 // ReadSetSize returns the current number of read-set lines.
-func (t *Txn) ReadSetSize() int { return len(t.readSet) }
+func (t *Txn) ReadSetSize() int { return t.readSet.Len() }
 
 // WriteSetSize returns the current number of write-set lines.
-func (t *Txn) WriteSetSize() int { return len(t.writeSet) }
+func (t *Txn) WriteSetSize() int { return t.writeSet.Len() }
 
 // System is the machine-wide RTM model shared by all hardware threads.
 type System struct {
@@ -149,8 +150,8 @@ type System struct {
 	pt       *vm.PageTable
 	Counters *perf.Set
 
-	txs []*Txn           // indexed by thread id
-	dir map[uint64]track // active transactional lines
+	txs []*Txn                // indexed by thread id
+	dir *lineset.Table[track] // active transactional lines
 
 	// AbortHook, if set, observes every abort (used by the tm layer to
 	// classify lock aborts).
@@ -166,7 +167,7 @@ func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
 		pt:       pt,
 		Counters: perf.NewSet(),
 		txs:      make([]*Txn, cfg.MaxThreads()),
-		dir:      make(map[uint64]track),
+		dir:      lineset.NewTable[track](1024),
 	}
 	h.Hooks.OnL1Evict = s.onL1Evict
 	h.Hooks.OnL3Evict = s.onL3Evict
@@ -185,8 +186,8 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 	if tx == nil {
 		tx = &Txn{
 			sys:      s,
-			readSet:  make(map[uint64]struct{}),
-			writeSet: make(map[uint64]struct{}),
+			readSet:  lineset.NewSet(512),
+			writeSet: lineset.NewSet(512),
 		}
 		s.txs[tid] = tx
 	}
@@ -223,20 +224,35 @@ func (s *System) preOp(tx *Txn) {
 }
 
 // tickBetween reports whether a timer interrupt fires on core in (from, to].
+// Tick k nominally fires at k*p, shifted into [k*p, k*p+j) by the
+// deterministic jitter. Instead of scanning every period in the gap, the
+// first candidate is computed directly: k = from/p + 1 is the smallest
+// tick with k*p > from, and if its whole jitter window fits below to the
+// tick is guaranteed to land in range. Only when that window straddles a
+// boundary do individual (hashed) ticks need checking, and then the
+// candidate range spans at most ~j/p + 2 ticks — long quiescent gaps
+// cost O(1) instead of O((to-from)/p).
 func (s *System) tickBetween(core int, from, to uint64) bool {
 	p := s.cfg.TSX.TickPeriod
 	if p == 0 || to <= from {
 		return false
 	}
 	j := s.cfg.TSX.TickJitter
-	for k := from / p; k <= to/p+1; k++ {
-		if k == 0 {
-			continue
-		}
-		t := k * p
-		if j > 0 {
-			t += tickHash(uint64(core), k) % j
-		}
+	if j == 0 {
+		return (from/p + 1) * p <= to
+	}
+	if (from/p+1)*p+j-1 <= to {
+		return true
+	}
+	// Boundary case: check each candidate against its jittered fire time.
+	// k = from/p can still fire in range (its jitter may push it past
+	// from); ticks with k*p > to never can (jitter only adds).
+	k := from / p
+	if k == 0 {
+		k = 1
+	}
+	for ; k*p <= to; k++ {
+		t := k*p + tickHash(uint64(core), k)%j
 		if t > from && t <= to {
 			return true
 		}
@@ -295,24 +311,26 @@ func (t *Txn) Load(addr uint64) int64 {
 	t.ensureActive("Load")
 	la := mem.LineAddr(addr)
 	if la != t.lastRead {
-		if _, ok := t.readSet[la]; !ok {
+		if t.readSet.Add(la) {
 			// Conflict probe only for lines not yet in our read set: once a
 			// line is ours, no foreign writer can appear without aborting us
 			// first (requester wins in Store/RawStore/RawRMW).
-			if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != t.proc.ID() {
-				// Requester wins: the writer's transaction dies.
+			e, fresh := s.dir.Upsert(la)
+			if fresh {
+				e.writer = -1
+			} else if e.writer >= 0 && int(e.writer) != t.proc.ID() {
+				// Requester wins: the writer's transaction dies. Its
+				// rollback deletes directory entries, which can move ours
+				// (backward-shift compaction), so re-establish it.
 				s.abortTx(s.txs[e.writer], Abort{
 					Status: StatusConflict | StatusRetry, Cause: CauseConflict,
 					ConflictLine: la, ByThread: t.proc.ID(),
 				})
-			}
-			t.readSet[la] = struct{}{}
-			e, present := s.dir[la]
-			if !present {
-				e.writer = -1
+				if e, fresh = s.dir.Upsert(la); fresh {
+					e.writer = -1
+				}
 			}
 			e.readers |= 1 << uint(t.proc.ID())
-			s.dir[la] = e
 		}
 		t.lastRead = la
 		t.checkPageFault(addr)
@@ -329,18 +347,25 @@ func (t *Txn) Store(addr uint64, val int64) {
 	la := mem.LineAddr(addr)
 	self := t.proc.ID()
 	if la != t.lastWrite {
-		if _, ok := t.writeSet[la]; !ok {
+		if t.writeSet.Add(la) {
 			// Conflict probe only for lines not yet in our write set: while
 			// we own a line as writer, any foreign reader's Load would have
 			// requester-wins-aborted us, so no foreign trackers can exist.
-			if e, ok := s.dir[la]; ok {
-				if e.writer >= 0 && int(e.writer) != self {
-					s.abortTx(s.txs[e.writer], Abort{
+			e, fresh := s.dir.Upsert(la)
+			if !fresh {
+				// Snapshot the entry: the victims' rollbacks mutate and may
+				// move it (backward-shift compaction on delete).
+				snap := *e
+				conflicted := false
+				if snap.writer >= 0 && int(snap.writer) != self {
+					conflicted = true
+					s.abortTx(s.txs[snap.writer], Abort{
 						Status: StatusConflict | StatusRetry, Cause: CauseConflict,
 						ConflictLine: la, ByThread: self,
 					})
 				}
-				if readers := e.readers &^ (1 << uint(self)); readers != 0 {
+				if readers := snap.readers &^ (1 << uint(self)); readers != 0 {
+					conflicted = true
 					for tid := 0; readers != 0; tid++ {
 						if readers&(1<<uint(tid)) != 0 {
 							readers &^= 1 << uint(tid)
@@ -351,11 +376,11 @@ func (t *Txn) Store(addr uint64, val int64) {
 						}
 					}
 				}
+				if conflicted {
+					e, _ = s.dir.Upsert(la)
+				}
 			}
-			t.writeSet[la] = struct{}{}
-			e := s.dir[la]
 			e.writer = int8(self)
-			s.dir[la] = e
 		}
 		t.lastWrite = la
 		t.checkPageFault(addr)
@@ -437,10 +462,13 @@ func (s *System) abortTx(tx *Txn, a Abort) {
 		s.h.Poke(tx.undo[i].addr, tx.undo[i].old)
 	}
 	// Speculative lines are invalidated on abort (loss of locality).
+	// Drops of distinct lines commute, so set order cannot leak into
+	// simulated state.
 	core := tx.proc.Core()
-	for la := range tx.writeSet {
+	tx.writeSet.Range(func(la uint64) bool {
 		s.h.Drop(core, la)
-	}
+		return true
+	})
 	s.clearSets(tx)
 	tx.undo = tx.undo[:0]
 	tx.active = false
@@ -474,31 +502,31 @@ func (s *System) countAbort(a Abort) {
 // read and write sets (invalidating the last-line memos, whose validity
 // is tied to set membership).
 func (s *System) clearSets(tx *Txn) {
+	// Per-line directory updates commute (each clears this thread's own
+	// claim on one line), so set iteration order cannot leak into state.
 	tid := tx.proc.ID()
-	for la := range tx.readSet {
-		if e, ok := s.dir[la]; ok {
+	tx.readSet.Range(func(la uint64) bool {
+		if e := s.dir.Ref(la); e != nil {
 			e.readers &^= 1 << uint(tid)
 			if e.readers == 0 && e.writer < 0 {
-				delete(s.dir, la)
-			} else {
-				s.dir[la] = e
+				s.dir.Delete(la)
 			}
 		}
-	}
-	for la := range tx.writeSet {
-		if e, ok := s.dir[la]; ok {
+		return true
+	})
+	tx.writeSet.Range(func(la uint64) bool {
+		if e := s.dir.Ref(la); e != nil {
 			if int(e.writer) == tid {
 				e.writer = -1
 			}
 			if e.readers == 0 && e.writer < 0 {
-				delete(s.dir, la)
-			} else {
-				s.dir[la] = e
+				s.dir.Delete(la)
 			}
 		}
-	}
-	clear(tx.readSet)
-	clear(tx.writeSet)
+		return true
+	})
+	tx.readSet.Clear()
+	tx.writeSet.Clear()
 	tx.lastRead = noLine
 	tx.lastWrite = noLine
 }
@@ -506,7 +534,7 @@ func (s *System) clearSets(tx *Txn) {
 // onL1Evict implements write-set capacity aborts: a transactionally
 // written line leaving a core's L1 kills the writing transaction.
 func (s *System) onL1Evict(core int, la uint64) {
-	e, ok := s.dir[la]
+	e, ok := s.dir.Get(la)
 	if !ok || e.writer < 0 {
 		return
 	}
@@ -514,7 +542,7 @@ func (s *System) onL1Evict(core int, la uint64) {
 	if tx == nil || !tx.active || tx.proc.Core() != core {
 		return
 	}
-	if _, ours := tx.writeSet[la]; !ours {
+	if !tx.writeSet.Contains(la) {
 		return
 	}
 	s.abortTx(tx, Abort{Status: StatusCapacity, Cause: CauseWriteCapacity, ByThread: -1})
@@ -525,7 +553,7 @@ func (s *System) onL1Evict(core int, la uint64) {
 // these as conflicts (no RETRY, CONFLICT set) — we keep the true cause in
 // the internal counters.
 func (s *System) onL3Evict(la uint64) {
-	e, ok := s.dir[la]
+	e, ok := s.dir.Get(la)
 	if !ok {
 		return
 	}
@@ -550,7 +578,7 @@ func (s *System) onL3Evict(la uint64) {
 // core's L2 aborts that core's transactions tracking it in their read
 // sets (the write set is still L1-bound via onL1Evict).
 func (s *System) onL2Evict(core int, la uint64) {
-	e, ok := s.dir[la]
+	e, ok := s.dir.Get(la)
 	if !ok {
 		return
 	}
@@ -564,7 +592,7 @@ func (s *System) onL2Evict(core int, la uint64) {
 		if tx == nil || !tx.active || tx.proc.Core() != core {
 			continue
 		}
-		if _, ours := tx.readSet[la]; ours {
+		if tx.readSet.Contains(la) {
 			s.abortTx(tx, Abort{Status: StatusConflict, Cause: CauseReadCapacity, ByThread: -1})
 		}
 	}
@@ -573,9 +601,9 @@ func (s *System) onL2Evict(core int, la uint64) {
 // RawLoad is a non-transactional read with strong atomicity: it aborts any
 // transaction that has the line in its write set.
 func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
-	if len(s.dir) != 0 {
+	if s.dir.Len() != 0 {
 		la := mem.LineAddr(addr)
-		if e, ok := s.dir[la]; ok && e.writer >= 0 && int(e.writer) != p.ID() {
+		if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
 			s.abortTx(s.txs[e.writer], Abort{
 				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
 				ConflictLine: la, ByThread: p.ID(),
@@ -591,7 +619,7 @@ func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
 // RawStore is a non-transactional write with strong atomicity: it aborts
 // any transaction tracking the line.
 func (s *System) RawStore(p *sim.Proc, addr uint64, val int64) {
-	if len(s.dir) != 0 {
+	if s.dir.Len() != 0 {
 		s.killTrackers(p.ID(), mem.LineAddr(addr))
 	}
 	if s.pt != nil {
@@ -623,7 +651,9 @@ func (s *System) RawRMW(p *sim.Proc, addr uint64, f func(int64) int64) int64 {
 // that has the line in its read or write set. It performs no simulated
 // memory operations and never yields.
 func (s *System) killTrackers(self int, la uint64) {
-	e, ok := s.dir[la]
+	// Work from a value snapshot: each victim's rollback mutates (and can
+	// relocate) the directory entry.
+	e, ok := s.dir.Get(la)
 	if !ok {
 		return
 	}
@@ -646,4 +676,4 @@ func (s *System) killTrackers(self int, la uint64) {
 }
 
 // ActiveLines returns the number of lines currently tracked (for tests).
-func (s *System) ActiveLines() int { return len(s.dir) }
+func (s *System) ActiveLines() int { return s.dir.Len() }

@@ -602,6 +602,55 @@ func TestTickBetweenJitterDeterministic(t *testing.T) {
 	}
 }
 
+// TestTickBetweenMatchesScan pins the closed-form tickBetween to the
+// reference implementation that scans every tick period in the gap.
+func TestTickBetweenMatchesScan(t *testing.T) {
+	scan := func(core int, from, to, p, j uint64) bool {
+		if p == 0 || to <= from {
+			return false
+		}
+		for k := from / p; k <= to/p+1; k++ {
+			if k == 0 {
+				continue
+			}
+			tick := k * p
+			if j > 0 {
+				tick += tickHash(uint64(core), k) % j
+			}
+			if tick > from && tick <= to {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := tinyCfg()
+	sys := &System{cfg: cfg}
+	for _, p := range []uint64{1, 7, 100, 1000, 7_500_000} {
+		for _, j := range []uint64{0, 1, 3, p / 2, p - 1} {
+			cfg.TSX.TickPeriod, cfg.TSX.TickJitter = p, j
+			for _, core := range []int{0, 3} {
+				for _, from := range []uint64{0, 1, p - 1, p, p + 1, 3*p - 1, 3 * p, 10*p + p/3} {
+					for _, span := range []uint64{0, 1, p / 3, p - 1, p, p + 1, 2 * p, 5*p + 1} {
+						to := from + span
+						got := sys.tickBetween(core, from, to)
+						want := scan(core, from, to, p, j)
+						if got != want {
+							t.Fatalf("tickBetween(core=%d, from=%d, to=%d) p=%d j=%d: got %v, want %v",
+								core, from, to, p, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	// The whole point: a multi-hour quiescent gap must answer instantly
+	// (and affirmatively) without scanning millions of periods.
+	cfg.TSX.TickPeriod, cfg.TSX.TickJitter = 7_500_000, 1_000_000
+	if !sys.tickBetween(0, 0, 1<<40) {
+		t.Fatal("huge gap must contain a tick")
+	}
+}
+
 func TestReadSetLevelL2Counterfactual(t *testing.T) {
 	// With the read set bounded by L2 instead of L3, the read wall moves
 	// from the L3 line count down to the L2 line count.

@@ -67,10 +67,19 @@ func (c *cache) lookup(lineAddr uint64) *line {
 }
 
 // present reports whether lineAddr is cached, without touching LRU state.
+// A memo hit answers without the set scan; a scan hit refreshes the memo
+// (setting it is always safe — every use re-validates).
 func (c *cache) present(lineAddr uint64) bool {
+	if c.lastTag == lineAddr && c.lastIdx >= 0 {
+		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
+			c.lastTag = lineAddr
+			c.lastIdx = int32(int(lineAddr&c.setMask)*c.ways + i)
 			return true
 		}
 	}
@@ -102,11 +111,24 @@ place:
 }
 
 // drop removes lineAddr if present and reports whether it was present.
+// A memo hit skips the set scan; dropping the memoized line invalidates
+// the memo so later probes for the same tag don't pay a dead fast-path
+// compare before falling back to the scan.
 func (c *cache) drop(lineAddr uint64) bool {
+	if c.lastTag == lineAddr && c.lastIdx >= 0 {
+		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {
+			l.valid = false
+			c.lastIdx = -1
+			return true
+		}
+	}
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			set[i].valid = false
+			if c.lastTag == lineAddr {
+				c.lastIdx = -1
+			}
 			return true
 		}
 	}

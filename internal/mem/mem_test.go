@@ -425,3 +425,43 @@ func TestPrefetchNeverStealsDirtyLine(t *testing.T) {
 		t.Fatal("dirty peer line prefetched")
 	}
 }
+
+// TestCacheMemoPresentDrop exercises the last-hit memo on the present()
+// and drop() fast paths: hits through the memo, hits after the memo went
+// stale, and memo invalidation when the memoized line is dropped.
+func TestCacheMemoPresentDrop(t *testing.T) {
+	c := newCache(4, 2)
+	c.insert(5)
+	c.lookup(5) // prime the memo
+	if !c.present(5) || !c.present(5) {
+		t.Fatal("present misses a memoized line")
+	}
+	if c.present(9) {
+		t.Fatal("present found an absent line")
+	}
+	// Scan-path hit must refresh the memo, then drop through the memo.
+	c.insert(6)
+	if !c.present(6) {
+		t.Fatal("present misses after insert")
+	}
+	if !c.drop(6) || c.present(6) || c.drop(6) {
+		t.Fatal("drop through memo broken")
+	}
+	// Dropping via the set scan with a stale memo for the same tag.
+	c.insert(7)
+	c.lookup(7)
+	victim, evicted, _ := c.insert(11) // same set as 7 (4 sets): 7&3 == 11&3
+	_ = victim
+	_ = evicted
+	if !c.drop(7) {
+		t.Fatal("drop misses a present line")
+	}
+	if c.present(7) {
+		t.Fatal("line visible after drop")
+	}
+	// Reinsert after drop: memo must not resurrect the old entry.
+	c.insert(7)
+	if !c.present(7) || !c.drop(7) {
+		t.Fatal("reinserted line not visible")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"rtmlab/internal/arch"
+	"rtmlab/internal/lineset"
 	"rtmlab/internal/mem"
 	"rtmlab/internal/perf"
 	"rtmlab/internal/sim"
@@ -70,9 +71,10 @@ type readEntry struct {
 	version  uint64
 }
 
-// Write and lock sets are kept as ordered slices (with map indexes for
-// O(1) lookup) so that commit-time stores replay in acquisition order —
-// map iteration order would make the cache timing nondeterministic.
+// Write and lock sets are kept as ordered slices (with open-addressed
+// indexes for O(1) lookup) so that commit-time stores replay in
+// acquisition order — hash-order iteration would make the cache timing
+// nondeterministic.
 type writeEntry struct {
 	addr uint64
 	val  int64
@@ -135,10 +137,10 @@ type Txn struct {
 	rv       uint64 // read/snapshot version
 	reads    []readEntry
 	writes   []writeEntry
-	writeIdx map[uint64]int // data addr -> index into writes
+	writeIdx *lineset.Table[int32] // data addr -> index into writes
 	owned    []ownedEntry
-	ownedIdx map[uint64]int // lock addr -> index into owned
-	attempts int            // consecutive aborts of the current atomic block
+	ownedIdx *lineset.Table[int32] // lock addr -> index into owned
+	attempts int                   // consecutive aborts of the current atomic block
 }
 
 // Attach returns a fresh transaction descriptor for a proc.
@@ -146,8 +148,8 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 	return &Txn{
 		sys:      s,
 		proc:     p,
-		writeIdx: make(map[uint64]int),
-		ownedIdx: make(map[uint64]int),
+		writeIdx: lineset.NewTable[int32](256),
+		ownedIdx: lineset.NewTable[int32](256),
 	}
 }
 
@@ -208,7 +210,7 @@ func (t *Txn) validate() bool {
 	for _, re := range t.reads {
 		w := s.h.Peek(re.lockAddr)
 		if isLocked(w) {
-			if _, mine := t.ownedIdx[re.lockAddr]; !mine {
+			if !t.ownedIdx.Contains(re.lockAddr) {
 				return false
 			}
 			continue
@@ -241,7 +243,7 @@ func (t *Txn) Load(addr uint64) int64 {
 	s := t.sys
 	t.proc.AddCycles(s.cfg.STM.ReadInstrCost)
 	t.proc.AddInstr(3)
-	if i, ok := t.writeIdx[addr]; ok {
+	if i, ok := t.writeIdx.Get(addr); ok {
 		return t.writes[i].val // read-own-write from the write buffer
 	}
 	lockAddr := s.lockOf(addr)
@@ -250,7 +252,7 @@ func (t *Txn) Load(addr uint64) int64 {
 		// overlaps (ILP); the cache still sees the access.
 		w := t.proc.LoadOverlapped(lockAddr)
 		if isLocked(w) {
-			if _, mine := t.ownedIdx[lockAddr]; mine {
+			if t.ownedIdx.Contains(lockAddr) {
 				// Lock owned by us for a colliding address; memory still
 				// holds the committed value (write-back).
 				if s.pt != nil {
@@ -288,12 +290,12 @@ func (t *Txn) Store(addr uint64, val int64) {
 	s := t.sys
 	t.proc.AddCycles(s.cfg.STM.WriteInstrCost)
 	t.proc.AddInstr(4)
-	if i, ok := t.writeIdx[addr]; ok {
+	if i, ok := t.writeIdx.Get(addr); ok {
 		t.writes[i].val = val
 		return
 	}
 	lockAddr := s.lockOf(addr)
-	if _, mine := t.ownedIdx[lockAddr]; mine {
+	if t.ownedIdx.Contains(lockAddr) {
 		t.putWrite(addr, val)
 		return
 	}
@@ -316,13 +318,13 @@ func (t *Txn) Store(addr uint64, val int64) {
 		t.proc.Store(lockAddr, lockedWord(t.proc.ID()))
 		break
 	}
-	t.ownedIdx[lockAddr] = len(t.owned)
+	t.ownedIdx.Put(lockAddr, int32(len(t.owned)))
 	t.owned = append(t.owned, ownedEntry{lockAddr: lockAddr, version: ver})
 	t.putWrite(addr, val)
 }
 
 func (t *Txn) putWrite(addr uint64, val int64) {
-	t.writeIdx[addr] = len(t.writes)
+	t.writeIdx.Put(addr, int32(len(t.writes)))
 	t.writes = append(t.writes, writeEntry{addr: addr, val: val})
 }
 
@@ -379,12 +381,8 @@ func (t *Txn) finish() {
 }
 
 func (t *Txn) clearSets() {
-	for _, we := range t.writes {
-		delete(t.writeIdx, we.addr)
-	}
-	for _, oe := range t.owned {
-		delete(t.ownedIdx, oe.lockAddr)
-	}
+	t.writeIdx.Clear()
+	t.ownedIdx.Clear()
 	t.writes = t.writes[:0]
 	t.owned = t.owned[:0]
 	t.reads = t.reads[:0]

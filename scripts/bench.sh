@@ -1,0 +1,24 @@
+#!/bin/sh
+# Benchmark snapshot: run the micro-benchmarks (data structures, memory
+# hierarchy, scheduler, transactional hot paths) at full benchtime and
+# the per-figure suite once, then emit a BENCH_<date>.json snapshot so
+# the repo accumulates a perf trajectory PR over PR.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s  scripts/bench.sh   # longer micro runs (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== micro benchmarks (lineset, mem, sim, htm) =="
+go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
+    ./internal/lineset ./internal/mem ./internal/sim ./internal/htm | tee "$tmp"
+
+echo "== per-figure benchmarks (one iteration each) =="
+go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$tmp"
+
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "bench: snapshot written to $out"

@@ -18,4 +18,9 @@ go test ./...
 echo "== go test -race (runner, sim, mem, harness) =="
 go test -race -short ./internal/runner ./internal/sim ./internal/mem ./internal/harness
 
+echo "== benchmark smoke (one iteration each) =="
+# Keeps the micro-benchmarks compiling and runnable so they can't rot;
+# real measurements come from scripts/bench.sh.
+go test -run '^$' -bench . -benchtime 1x ./internal/lineset ./internal/mem ./internal/sim ./internal/htm
+
 echo "ci: all checks passed"
