@@ -4,6 +4,13 @@
 // the repository. Standard ns/op, B/op and allocs/op columns become
 // typed fields; any extra b.ReportMetric columns (speedup, abort-rate,
 // ...) land in a per-benchmark metrics map.
+//
+// With -baseline it instead compares the parsed results against a
+// committed snapshot and exits non-zero if any shared benchmark's
+// ns/op regressed by more than -tol-pct percent (scripts/ci.sh uses
+// this to gate the flight-recorder disabled-path overhead). Repeated
+// runs of the same benchmark (go test -count=N) are reduced to their
+// minimum before comparing, the standard noise filter.
 package main
 
 import (
@@ -11,8 +18,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -42,17 +51,57 @@ type Snapshot struct {
 
 func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the snapshot")
+	baseline := flag.String("baseline", "", "compare against this snapshot instead of emitting JSON")
+	tolPct := flag.Float64("tol-pct", 2.0, "with -baseline: allowed ns/op regression in percent")
+	only := flag.String("only", "", "with -baseline: restrict the comparison to benchmarks whose name contains this substring")
 	flag.Parse()
 
+	snap := parse(os.Stdin, *date)
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		report, regressed := compare(base, snap, *tolPct, *only)
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output and returns the snapshot.
+// Non-result lines (test chatter, bare benchmark names echoed before
+// their result, malformed columns) are skipped.
+func parse(r io.Reader, date string) Snapshot {
 	snap := Snapshot{
 		Schema:    "rtmlab-bench/v1",
-		Date:      *date,
+		Date:      date,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -71,16 +120,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
-	if len(snap.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
-		os.Exit(1)
-	}
+	return snap
 }
 
 // parseLine parses one result line of the form
@@ -121,4 +161,56 @@ func parseLine(pkg, line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// minNs reduces a snapshot to the minimum ns/op seen per
+// (package, name) — the conventional multi-run noise filter.
+func minNs(s Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range s.Benchmarks {
+		key := b.Package + "." + b.Name
+		if cur, ok := out[key]; !ok || b.NsPerOp < cur {
+			out[key] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+// compare reports ns/op deltas for benchmarks present in both snapshots
+// and whether any regressed beyond tolPct percent. only, when non-empty,
+// restricts the comparison to keys containing that substring.
+func compare(base, cur Snapshot, tolPct float64, only string) (string, bool) {
+	baseNs, curNs := minNs(base), minNs(cur)
+	keys := make([]string, 0, len(curNs))
+	for k := range curNs {
+		if _, ok := baseNs[k]; ok && (only == "" || strings.Contains(k, only)) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	regressed := false
+	for _, k := range keys {
+		b, c := baseNs[k], curNs[k]
+		deltaPct := 0.0
+		if b > 0 {
+			deltaPct = (c - b) / b * 100
+		}
+		verdict := "ok"
+		if deltaPct > tolPct {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-60s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n", k, b, c, deltaPct, verdict)
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(&sb, "no overlapping benchmarks between baseline and current run\n")
+		return sb.String(), true
+	}
+	if regressed {
+		fmt.Fprintf(&sb, "FAIL: regression beyond %.1f%% tolerance\n", tolPct)
+	} else {
+		fmt.Fprintf(&sb, "ok: %d benchmarks within %.1f%% of baseline\n", len(keys), tolPct)
+	}
+	return sb.String(), regressed
 }

@@ -15,6 +15,13 @@
 // one per CPU); results are collected by point index, so the output is
 // byte-identical at any -j. Use -cpuprofile/-memprofile to capture pprof
 // profiles of the run.
+//
+// The flight recorder (-trace, -metrics) captures per-thread transaction
+// events across the instrumented experiments (fig10, table4, table5,
+// claims, hybrid): -trace writes one Chrome trace-event JSON file
+// loadable in Perfetto (about://tracing), -metrics writes per-experiment
+// JSON sidecars plus text summaries. Both outputs are byte-identical at
+// any -j because recorders merge by (experiment, point, sub) key.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	"rtmlab/internal/harness"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
 )
 
@@ -37,10 +45,16 @@ func main() {
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent experiment points (1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+		metricsDir = flag.String("metrics", "", "directory for per-experiment JSON metrics + text summaries")
+		traceLimit = flag.Int("trace-limit", 1<<16, "max events kept per thread track (0 = unbounded)")
 	)
 	flag.Parse()
 
 	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs}
+	if *traceOut != "" || *metricsDir != "" {
+		o.Obs = obs.NewCollector(*traceLimit)
+	}
 	switch *scale {
 	case "test":
 		o.Scale = stamp.Test
@@ -98,6 +112,33 @@ func main() {
 		if !run(id) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
+		}
+	}
+
+	if o.Obs != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			if err := o.Obs.WriteChromeTrace(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+		}
+		if *metricsDir != "" {
+			if err := o.Obs.WriteMetrics(*metricsDir); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsDir)
 		}
 	}
 

@@ -1,0 +1,127 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `rtmlab -trace`: it must be valid JSON, carry a traceEvents array,
+// and every event must have the fields Perfetto needs (ph, pid, tid,
+// plus ts for non-metadata events). Abort instants are additionally
+// checked for their cause/line/by payload. Used by scripts/ci.sh to
+// gate the observability layer; exits non-zero with a diagnostic on the
+// first violation.
+//
+// Usage: tracecheck [-metrics sidecar.json] <trace.json>
+//
+// With -metrics it additionally checks that the given metrics sidecar is
+// valid JSON carrying the rtmlab-metrics/v1 schema marker.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	metrics := flag.String("metrics", "", "also validate this metrics sidecar JSON file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: tracecheck [-metrics sidecar.json] <trace.json>")
+	}
+	path := flag.Arg(0)
+	if *metrics != "" {
+		checkMetrics(*metrics)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !json.Valid(data) {
+		fail("%s: not valid JSON", path)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: empty traceEvents array", path)
+	}
+	counts := map[string]int{}
+	for i, e := range tf.TraceEvents {
+		counts[e.Ph]++
+		if e.Ph == "" || e.Pid == nil || e.Tid == nil {
+			fail("event %d: missing ph/pid/tid: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				fail("event %d: unexpected metadata name %q", i, e.Name)
+			}
+		case "X":
+			if e.Ts == nil || e.Dur == nil || e.Name == "" {
+				fail("event %d: slice missing ts/dur/name", i)
+			}
+		case "i":
+			if e.Ts == nil || e.Name == "" {
+				fail("event %d: instant missing ts/name", i)
+			}
+			if strings.HasPrefix(e.Name, "abort: ") {
+				for _, k := range []string{"cause", "line", "by"} {
+					if _, ok := e.Args[k]; !ok {
+						fail("event %d: abort instant missing args.%s", i, k)
+					}
+				}
+			}
+		default:
+			fail("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	if counts["M"] == 0 {
+		fail("no metadata events (process/thread names)")
+	}
+	fmt.Printf("ok: %d events (%d meta, %d slices, %d instants)\n",
+		len(tf.TraceEvents), counts["M"], counts["X"], counts["i"])
+}
+
+// checkMetrics validates a metrics sidecar: well-formed JSON with the
+// expected schema marker and at least one recorder.
+func checkMetrics(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !json.Valid(data) {
+		fail("%s: not valid JSON", path)
+	}
+	var m struct {
+		Schema    string            `json:"schema"`
+		Recorders []json.RawMessage `json:"recorders"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if m.Schema != "rtmlab-metrics/v1" {
+		fail("%s: schema = %q, want rtmlab-metrics/v1", path, m.Schema)
+	}
+	if len(m.Recorders) == 0 {
+		fail("%s: no recorders", path)
+	}
+	fmt.Printf("ok: %s (%d recorders)\n", path, len(m.Recorders))
+}

@@ -14,6 +14,7 @@ package energy
 import (
 	"rtmlab/internal/arch"
 	"rtmlab/internal/mem"
+	"rtmlab/internal/obs"
 )
 
 // Measure captures everything the model needs about one execution region.
@@ -43,6 +44,26 @@ type Report struct {
 func (r Report) Total() float64 {
 	return r.Static + r.CoreBusy + r.CoreIdle + r.Instr + r.L1 + r.L2 + r.L3 +
 		r.DRAM + r.Coh + r.Abort
+}
+
+// Sample converts the report into a flight-recorder energy sample for the
+// given interval label and duration.
+func (r Report) Sample(label string, cycles uint64) obs.EnergySample {
+	return obs.EnergySample{
+		Label:    label,
+		Cycles:   cycles,
+		Static:   r.Static,
+		CoreBusy: r.CoreBusy,
+		CoreIdle: r.CoreIdle,
+		Instr:    r.Instr,
+		L1:       r.L1,
+		L2:       r.L2,
+		L3:       r.L3,
+		DRAM:     r.DRAM,
+		Coh:      r.Coh,
+		Abort:    r.Abort,
+		Total:    r.Total(),
+	}
 }
 
 // Compute evaluates the model for one region under the given machine.

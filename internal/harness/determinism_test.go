@@ -2,12 +2,15 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"rtmlab/internal/arch"
 	"rtmlab/internal/eigenbench"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
 )
@@ -72,6 +75,58 @@ func TestClaimsParallelDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(seqCSV, parCSV) {
 		t.Errorf("claims CSV differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqCSV, parCSV)
+	}
+}
+
+// TestObsTraceParallelDeterminism asserts that the flight-recorder
+// outputs — the Chrome trace-event JSON and the per-experiment metrics
+// sidecar — are byte-identical between -j 1 and -j 8 on a small claims
+// run. Recorders register in completion order under the worker pool, so
+// this pins the (experiment, point, sub)-keyed merge that makes that
+// order invisible.
+func TestObsTraceParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full claims sweep at test scale, twice")
+	}
+	run := func(jobs int) (trace, metrics, summary []byte) {
+		t.Helper()
+		col := obs.NewCollector(1 << 14)
+		o := Options{Scale: stamp.Test, Seeds: 1, Jobs: jobs, Obs: col}
+		Claims(io.Discard, o)
+		var tb bytes.Buffer
+		if err := col.WriteChromeTrace(&tb); err != nil {
+			t.Fatalf("jobs=%d: trace: %v", jobs, err)
+		}
+		dir := t.TempDir()
+		if err := col.WriteMetrics(dir); err != nil {
+			t.Fatalf("jobs=%d: metrics: %v", jobs, err)
+		}
+		mj, err := os.ReadFile(filepath.Join(dir, "claims.json"))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		mt, err := os.ReadFile(filepath.Join(dir, "claims.txt"))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tb.Bytes(), mj, mt
+	}
+	seqTrace, seqJSON, seqTxt := run(1)
+	parTrace, parJSON, parTxt := run(8)
+	if !json.Valid(seqTrace) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	if !json.Valid(seqJSON) {
+		t.Fatal("metrics sidecar is not valid JSON")
+	}
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Error("Chrome trace differs between -j 1 and -j 8")
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("metrics JSON differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", seqJSON, parJSON)
+	}
+	if !bytes.Equal(seqTxt, parTxt) {
+		t.Error("metrics text summary differs between -j 1 and -j 8")
 	}
 }
 

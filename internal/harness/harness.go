@@ -14,7 +14,9 @@ import (
 	"strconv"
 	"strings"
 
+	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
+	"rtmlab/internal/tm"
 )
 
 // itoa is a short alias for strconv.Itoa.
@@ -31,6 +33,36 @@ type Options struct {
 	// output byte-identical at any worker count. Jobs <= 0 means one
 	// worker per CPU; Jobs == 1 is the fully sequential behavior.
 	Jobs int
+	// Obs, if non-nil, collects per-point flight recorders across the
+	// simulation-heavy experiments (STAMP figures, case studies, claims,
+	// hybrid study). Recorders are keyed by (experiment, point, sub), so
+	// trace and metrics output stays byte-identical at any Jobs value.
+	Obs *obs.Collector
+}
+
+// obsMod composes a recorder attachment for the given point index and
+// label with an existing system modifier. With observability off it
+// returns mod unchanged, so call sites pay nothing.
+func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.System) {
+	if o.Obs == nil {
+		return mod
+	}
+	return func(sys *tm.System) {
+		if mod != nil {
+			mod(sys)
+		}
+		sys.SetRecorder(o.Obs.Recorder(point, label))
+	}
+}
+
+// obsSystem builds a tm.System with a recorder attached for the given
+// point (for call sites that construct systems directly).
+func (o Options) obsSystem(cfg func() *tm.System, point int, label string) *tm.System {
+	sys := cfg()
+	if o.Obs != nil {
+		sys.SetRecorder(o.Obs.Recorder(point, label))
+	}
+	return sys
 }
 
 // DefaultOptions mirror a laptop-friendly but figure-quality setup.

@@ -32,15 +32,17 @@ func HybridStudy(w io.Writer, o Options) {
 		row  []string
 		note string
 	}
+	o.Obs.BeginExperiment("hybrid")
 	outs := runner.Map(o.Jobs, len(apps), func(i int) pointOut {
 		mk := apps[i]
 		name := mk().Name()
-		seq, err := stamp.Run(mk(), tm.Seq, 1, 42, nil)
+		seq, err := stamp.Run(mk(), tm.Seq, 1, 42, o.obsMod(i, name+"/seq", nil))
 		if err != nil {
 			return pointOut{note: fmt.Sprintf("%s seq failed: %v", name, err)}
 		}
 		norm := func(backend tm.Backend) (string, stamp.Result) {
-			res, err := stamp.Run(mk(), backend, 4, 42, nil)
+			res, err := stamp.Run(mk(), backend, 4, 42,
+				o.obsMod(i, name+"/"+backend.String(), nil))
 			if err != nil {
 				return "ERR", res
 			}

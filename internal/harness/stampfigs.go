@@ -72,12 +72,13 @@ func Fig10to12(w io.Writer, o Options) {
 		timeRows, energyRows, abortRows [][]string
 		errs                            []string
 	}
+	o.Obs.BeginExperiment("fig10")
 	apps := stampApps(o)
 	results := runner.Map(o.Jobs, len(apps), func(ai int) appResult {
 		mk := apps[ai]
 		var out appResult
 		name := mk().Name()
-		seqRes, err := stamp.Run(mk(), tm.Seq, 1, 42, nil)
+		seqRes, err := stamp.Run(mk(), tm.Seq, 1, 42, o.obsMod(ai, name+"/seq", nil))
 		if err != nil {
 			out.errs = append(out.errs, fmt.Sprintf("  ! %s sequential failed: %v", name, err))
 			return out
@@ -92,7 +93,8 @@ func Fig10to12(w io.Writer, o Options) {
 				var last stamp.Result
 				failed := false
 				for s := 0; s < seeds; s++ {
-					res, err := stamp.Run(mk(), backend, n, 42+uint64(97*s), nil)
+					res, err := stamp.Run(mk(), backend, n, 42+uint64(97*s),
+						o.obsMod(ai, name+"/"+backend.String()+"/"+itoa(n)+"t/s"+itoa(s), nil))
 					if err != nil {
 						out.errs = append(out.errs, fmt.Sprintf("  ! %s/%v/%d: %v", name, backend, n, err))
 						failed = true
@@ -181,12 +183,14 @@ func caseStudy(w io.Writer, o Options, id, title, site string,
 		err error
 	}
 	nt := len(threads)
+	o.Obs.BeginExperiment(id)
 	points := runner.Map(o.Jobs, 2*nt, func(i int) runPoint {
-		mk, mod := mkBase, (func(*tm.System))(nil)
+		mk, mod, variant := mkBase, (func(*tm.System))(nil), "base"
 		if i >= nt {
-			mk, mod = mkOpt, optMod
+			mk, mod, variant = mkOpt, optMod, "opt"
 		}
-		res, err := stamp.Run(mk(), tm.HTM, threads[i%nt], 42, mod)
+		n := threads[i%nt]
+		res, err := stamp.Run(mk(), tm.HTM, n, 42, o.obsMod(i, variant+"/"+itoa(n)+"t", mod))
 		return runPoint{res, err}
 	})
 	collect := func(off int) []run {

@@ -239,7 +239,7 @@ func (s *System) tickBetween(core int, from, to uint64) bool {
 	}
 	j := s.cfg.TSX.TickJitter
 	if j == 0 {
-		return (from/p + 1) * p <= to
+		return (from/p+1)*p <= to
 	}
 	if (from/p+1)*p+j-1 <= to {
 		return true
@@ -444,6 +444,9 @@ func (t *Txn) Commit() {
 	p := t.proc
 	p.AddCycles(s.cfg.TSX.XEndCost)
 	p.AddInstr(1)
+	if rec := s.h.Rec; rec != nil {
+		rec.HTMSetsAtCommit(t.readSet.Len(), t.writeSet.Len())
+	}
 	s.clearSets(t)
 	t.active = false
 	t.undo = t.undo[:0]
@@ -456,6 +459,9 @@ func (t *Txn) Commit() {
 func (s *System) abortTx(tx *Txn, a Abort) {
 	if tx == nil || !tx.active {
 		return
+	}
+	if rec := s.h.Rec; rec != nil {
+		rec.HTMSetsAtAbort(tx.readSet.Len(), tx.writeSet.Len())
 	}
 	// Restore the undo log in reverse.
 	for i := len(tx.undo) - 1; i >= 0; i-- {

@@ -1,6 +1,9 @@
 package mem
 
-import "rtmlab/internal/arch"
+import (
+	"rtmlab/internal/arch"
+	"rtmlab/internal/obs"
+)
 
 // Stats counts memory-system events. Counters are cumulative for the
 // lifetime of the hierarchy; callers snapshot and subtract for intervals.
@@ -93,6 +96,11 @@ type Hierarchy struct {
 	Now uint64
 	// dramFree is the cycle at which the memory channel is next idle.
 	dramFree uint64
+
+	// Rec, when non-nil, receives eviction and invalidation events on the
+	// owning core's track. Layers above (htm, stm, sim, tm) reach the
+	// flight recorder through this field.
+	Rec *obs.Recorder
 }
 
 // New builds a hierarchy for the given machine description with a fresh
@@ -336,6 +344,9 @@ func (h *Hierarchy) invalidatePeers(core int, la uint64, dir *line) {
 			h.fireL2Evict(c, la)
 		}
 		h.Stats.Invalidations++
+		if h.Rec != nil {
+			h.Rec.MemEvent(c, h.Now, obs.KInval, la)
+		}
 	}
 	if dir.owner >= 0 && int(dir.owner) != core {
 		h.Stats.Writebacks++
@@ -397,12 +408,18 @@ func (h *Hierarchy) backInvalidate(victim uint64) {
 }
 
 func (h *Hierarchy) fireL1Evict(core int, la uint64) {
+	if h.Rec != nil {
+		h.Rec.MemEvent(core, h.Now, obs.KL1Evict, la)
+	}
 	if h.Hooks.OnL1Evict != nil {
 		h.Hooks.OnL1Evict(core, la)
 	}
 }
 
 func (h *Hierarchy) fireL2Evict(core int, la uint64) {
+	if h.Rec != nil {
+		h.Rec.MemEvent(core, h.Now, obs.KL2Evict, la)
+	}
 	if h.Hooks.OnL2Evict != nil {
 		h.Hooks.OnL2Evict(core, la)
 	}

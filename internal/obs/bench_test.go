@@ -1,0 +1,35 @@
+package obs
+
+import "testing"
+
+// The disabled path instrumented layers pay is one nil compare; this
+// benchmark is the reference point for the <2% overhead budget on the
+// htm micro-benchmarks.
+func BenchmarkRecordDisabled(b *testing.B) {
+	var r *Recorder
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		if r != nil {
+			r.TxCommit(0, uint64(i), 0, -1, 0)
+		}
+		sink++
+	}
+	_ = sink
+}
+
+func BenchmarkTxCommitEnabled(b *testing.B) {
+	r := NewRecorder("bench", 1<<16)
+	site := r.SiteID("site")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TxCommit(0, uint64(i)+100, uint64(i), site, 1)
+	}
+}
+
+func BenchmarkMemEventEnabled(b *testing.B) {
+	r := NewRecorder("bench", 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MemEvent(0, uint64(i), KL1Evict, uint64(i)<<6)
+	}
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Metrics sidecar: one JSON document per experiment, with every
+// recorder's counters, histograms, site x cause matrix, wasted-cycles
+// split and energy samples. encoding/json sorts map keys, and recorders
+// are walked in merge order, so the bytes are deterministic.
+
+// HistJSON is the sidecar form of a histogram: buckets[k] counts
+// observations v with bits.Len64(v) == k (trailing zero buckets are
+// trimmed).
+type HistJSON struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+func histJSON(h *Hist) HistJSON {
+	out := HistJSON{Count: h.N, Sum: h.Sum, Mean: h.Mean()}
+	top := -1
+	for k := range h.B {
+		if h.B[k] != 0 {
+			top = k
+		}
+	}
+	if top >= 0 {
+		out.Buckets = append(out.Buckets, h.B[:top+1]...)
+	}
+	return out
+}
+
+// SiteJSON is one row of the per-site abort matrix.
+type SiteJSON struct {
+	Site    string            `json:"site"`
+	Commits uint64            `json:"commits"`
+	Aborts  map[string]uint64 `json:"aborts,omitempty"`
+	Wasted  map[string]uint64 `json:"wasted_cycles,omitempty"`
+}
+
+// RecorderJSON is the sidecar form of one recorder.
+type RecorderJSON struct {
+	Label    string              `json:"label"`
+	Events   map[string]uint64   `json:"events,omitempty"`
+	Dropped  uint64              `json:"dropped_events,omitempty"`
+	Counters map[string]uint64   `json:"counters,omitempty"`
+	Hists    map[string]HistJSON `json:"hists,omitempty"`
+	Sites    []SiteJSON          `json:"sites,omitempty"`
+	Wasted   map[string]uint64   `json:"wasted_cycles,omitempty"`
+	Energy   []EnergySample      `json:"energy,omitempty"`
+}
+
+// MetricsJSON is one experiment's sidecar document.
+type MetricsJSON struct {
+	Schema     string         `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Recorders  []RecorderJSON `json:"recorders"`
+}
+
+func causeMap(v *[NumCauses]uint64) map[string]uint64 {
+	var out map[string]uint64
+	for c, n := range v {
+		if n != 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[Cause(c).String()] = n
+		}
+	}
+	return out
+}
+
+// Summary converts a recorder to its sidecar form.
+func (r *Recorder) Summary() RecorderJSON {
+	out := RecorderJSON{Label: r.label, Dropped: r.Dropped()}
+	for k, n := range r.kindCount {
+		if n != 0 {
+			if out.Events == nil {
+				out.Events = make(map[string]uint64)
+			}
+			out.Events[Kind(k).String()] = n
+		}
+	}
+	if len(r.counters) > 0 {
+		out.Counters = make(map[string]uint64, len(r.counters))
+		for k, v := range r.counters {
+			out.Counters[k] = v
+		}
+	}
+	hists := map[string]*Hist{
+		"tx_cycles":       &r.TxCycles,
+		"wasted_cycles":   &r.WastedCycles,
+		"retries":         &r.Retries,
+		"read_at_commit":  &r.ReadAtCommit,
+		"write_at_commit": &r.WriteAtCommit,
+		"read_at_abort":   &r.ReadAtAbort,
+		"write_at_abort":  &r.WriteAtAbort,
+	}
+	for name, h := range hists {
+		if h.N != 0 {
+			if out.Hists == nil {
+				out.Hists = make(map[string]HistJSON)
+			}
+			out.Hists[name] = histJSON(h)
+		}
+	}
+	// Sites sorted by name for a stable sidecar independent of first-use
+	// order.
+	names := append([]string(nil), r.siteNames...)
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.sites[r.siteIdx[name]]
+		out.Sites = append(out.Sites, SiteJSON{
+			Site: name, Commits: s.commits,
+			Aborts: causeMap(&s.aborts), Wasted: causeMap(&s.wasted),
+		})
+	}
+	out.Wasted = causeMap(&r.wasted)
+	out.Energy = append(out.Energy, r.energy...)
+	return out
+}
+
+// metricsByExperiment groups recorders into per-experiment documents in
+// scope order.
+func (c *Collector) metricsByExperiment() []MetricsJSON {
+	var docs []MetricsJSON
+	byExp := map[int]int{} // exp index -> docs index
+	for _, r := range c.Recorders() {
+		di, ok := byExp[r.exp]
+		if !ok {
+			di = len(docs)
+			byExp[r.exp] = di
+			docs = append(docs, MetricsJSON{
+				Schema:     "rtmlab-metrics/v1",
+				Experiment: c.ExperimentID(r.exp),
+			})
+		}
+		docs[di].Recorders = append(docs[di].Recorders, r.Summary())
+	}
+	return docs
+}
+
+// WriteMetrics writes one <experiment>.json sidecar and one
+// <experiment>.txt summary per experiment scope into dir. A repeated
+// experiment id gets a numeric suffix so no scope clobbers another.
+func (c *Collector) WriteMetrics(dir string) error {
+	if c == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	seen := map[string]int{}
+	for _, doc := range c.metricsByExperiment() {
+		name := doc.Experiment
+		if name == "" {
+			name = "run"
+		}
+		seen[name]++
+		if n := seen[name]; n > 1 {
+			name = fmt.Sprintf("%s.%d", name, n)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		writeSummaryDoc(f, doc)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders every experiment's text summary table to w.
+func (c *Collector) WriteSummary(w io.Writer) {
+	if c == nil {
+		return
+	}
+	for _, doc := range c.metricsByExperiment() {
+		writeSummaryDoc(w, doc)
+	}
+}
+
+func writeSummaryDoc(w io.Writer, doc MetricsJSON) {
+	fmt.Fprintf(w, "== obs: %s ==\n", doc.Experiment)
+	for _, r := range doc.Recorders {
+		writeRecorderSummary(w, r)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeRecorderSummary(w io.Writer, r RecorderJSON) {
+	fmt.Fprintf(w, "-- %s --\n", r.Label)
+	if len(r.Events) > 0 {
+		keys := sortedKeys(r.Events)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %d", k, r.Events[k]))
+		}
+		line := "  events: " + strings.Join(parts, ", ")
+		if r.Dropped > 0 {
+			line += fmt.Sprintf(" (%d dropped)", r.Dropped)
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, name := range sortedKeys(r.Hists) {
+		h := r.Hists[name]
+		fmt.Fprintf(w, "  %-16s n=%-8d mean=%.1f", name, h.Count, h.Mean)
+		if top := len(h.Buckets) - 1; top > 0 {
+			fmt.Fprintf(w, " max<2^%d", top)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Wasted) > 0 {
+		var total uint64
+		for _, v := range r.Wasted {
+			total += v
+		}
+		parts := make([]string, 0, len(r.Wasted))
+		for _, k := range sortedKeys(r.Wasted) {
+			parts = append(parts, fmt.Sprintf("%s %d (%.0f%%)", k, r.Wasted[k],
+				100*float64(r.Wasted[k])/float64(total)))
+		}
+		fmt.Fprintln(w, "  wasted cycles: "+strings.Join(parts, ", "))
+	}
+	if len(r.Sites) > 0 {
+		// Only causes that occur anywhere make a column.
+		var causes []string
+		seen := map[string]bool{}
+		for _, s := range r.Sites {
+			for c := range s.Aborts {
+				if !seen[c] {
+					seen[c] = true
+					causes = append(causes, c)
+				}
+			}
+		}
+		sort.Strings(causes)
+		fmt.Fprintf(w, "  %-16s %8s", "site", "commits")
+		for _, c := range causes {
+			fmt.Fprintf(w, " %14s", c)
+		}
+		fmt.Fprintln(w)
+		for _, s := range r.Sites {
+			fmt.Fprintf(w, "  %-16s %8d", s.Site, s.Commits)
+			for _, c := range causes {
+				fmt.Fprintf(w, " %14d", s.Aborts[c])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, e := range r.Energy {
+		fmt.Fprintf(w, "  energy[%s]: %.4f J over %d cycles (static %.4f, core %.4f, mem %.4f, abort %.4f)\n",
+			e.Label, e.Total, e.Cycles, e.Static, e.CoreBusy+e.CoreIdle,
+			e.L1+e.L2+e.L3+e.DRAM+e.Coh, e.Abort)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestStreamRing(t *testing.T) {
+	s := &stream{limit: 4}
+	for i := 0; i < 10; i++ {
+		s.push(Event{Cycle: uint64(i)})
+	}
+	ev := s.events()
+	if len(ev) != 4 {
+		t.Fatalf("kept %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (most recent 4, oldest first)", i, e.Cycle, want)
+		}
+	}
+	if s.dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", s.dropped())
+	}
+	unbounded := &stream{}
+	for i := 0; i < 10; i++ {
+		unbounded.push(Event{Cycle: uint64(i)})
+	}
+	if len(unbounded.events()) != 10 || unbounded.dropped() != 0 {
+		t.Errorf("unbounded stream: kept %d dropped %d", len(unbounded.events()), unbounded.dropped())
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.N != 6 || h.Sum != 1010 {
+		t.Fatalf("N=%d Sum=%d", h.N, h.Sum)
+	}
+	// 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+	for k, n := range h.B {
+		if n != want[k] {
+			t.Errorf("bucket %d = %d, want %d", k, n, want[k])
+		}
+	}
+	if h.MaxBucket() != 1024 {
+		t.Errorf("MaxBucket = %d, want 1024", h.MaxBucket())
+	}
+	if h.Mean() != 1010.0/6 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestRecorderSiteMatrixAndWasted(t *testing.T) {
+	r := NewRecorder("t", 0)
+	site := r.SiteID("reserve")
+	r.TxAbort(0, 150, 100, site, CauseConflict, 0x40, 1)
+	r.TxAbort(0, 260, 200, site, CauseConflict, 0x41, 2)
+	r.TxAbort(0, 300, 290, site, CauseWriteCapacity, 0, -1)
+	r.TxCommit(0, 500, 400, site, 3)
+
+	sum := r.Summary()
+	if len(sum.Sites) != 1 || sum.Sites[0].Site != "reserve" {
+		t.Fatalf("sites = %+v", sum.Sites)
+	}
+	s := sum.Sites[0]
+	if s.Commits != 1 || s.Aborts["conflict"] != 2 || s.Aborts["write-capacity"] != 1 {
+		t.Errorf("matrix row = %+v", s)
+	}
+	if s.Wasted["conflict"] != 110 || s.Wasted["write-capacity"] != 10 {
+		t.Errorf("site wasted = %+v", s.Wasted)
+	}
+	if sum.Wasted["conflict"] != 110 {
+		t.Errorf("global wasted = %+v", sum.Wasted)
+	}
+	if r.TxCycles.N != 1 || r.TxCycles.Sum != 100 {
+		t.Errorf("tx cycles hist: n=%d sum=%d", r.TxCycles.N, r.TxCycles.Sum)
+	}
+	if r.Retries.N != 1 || r.Retries.Sum != 3 {
+		t.Errorf("retries hist: n=%d sum=%d", r.Retries.N, r.Retries.Sum)
+	}
+	if r.WastedCycles.N != 3 {
+		t.Errorf("wasted hist n = %d", r.WastedCycles.N)
+	}
+}
+
+func TestAdvanceBaseShiftsTimeline(t *testing.T) {
+	r := NewRecorder("t", 0)
+	r.TxCommit(0, 100, 50, -1, 0)
+	r.AdvanceBase(1000)
+	r.TxCommit(0, 100, 50, -1, 0)
+	ev := r.ThreadEvents(0)
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Cycle != 100 || ev[1].Cycle != 1100 || ev[1].Start != 1050 {
+		t.Errorf("cycles = %d/%d start=%d, want 100/1100 start 1050", ev[0].Cycle, ev[1].Cycle, ev[1].Start)
+	}
+}
+
+// fillRecorder populates a recorder with a representative event mix.
+func fillRecorder(r *Recorder) {
+	site := r.SiteID("route")
+	r.TxAbort(1, 90, 10, site, CauseConflict, 0x1234, 0)
+	r.TxCommit(1, 200, 100, site, 1)
+	r.TxInstant(0, 50, site, KTxFallback)
+	r.MemEvent(0, 42, KL1Evict, 0x99)
+	r.STMBackoff(1, 220, 64, CauseLocked)
+	r.HTMSetsAtCommit(10, 4)
+	r.HTMSetsAtAbort(30, 12)
+	r.Add("sim:switches", 7)
+	r.Energy(EnergySample{Label: "roi", Cycles: 200, Total: 1.5})
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	c := NewCollector(0)
+	c.BeginExperiment("test")
+	fillRecorder(c.Recorder(0, "p0"))
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var haveProcess, haveCommit, haveAbort, haveMem bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			haveProcess = true
+			if e.Args["name"] != "p0" {
+				t.Errorf("process name = %v", e.Args["name"])
+			}
+		case e.Ph == "X" && e.Name == "route":
+			haveCommit = true
+			if e.Ts != 100 || e.Dur != 100 || e.Tid != 1 {
+				t.Errorf("commit slice = %+v", e)
+			}
+		case e.Ph == "i" && e.Name == "abort: conflict":
+			haveAbort = true
+			if e.Args["cause"] != "conflict" || e.Args["line"] != "0x1234" || e.Args["by"] != float64(0) {
+				t.Errorf("abort args = %v", e.Args)
+			}
+		case e.Ph == "i" && e.Name == "l1-evict":
+			haveMem = true
+			if e.Tid != coreTrackBase {
+				t.Errorf("mem event tid = %d", e.Tid)
+			}
+		}
+	}
+	if !haveProcess || !haveCommit || !haveAbort || !haveMem {
+		t.Errorf("missing events: process=%v commit=%v abort=%v mem=%v",
+			haveProcess, haveCommit, haveAbort, haveMem)
+	}
+}
+
+// TestCollectorMergeOrder registers recorders out of point order (as
+// concurrent workers would) and asserts the exports come out keyed by
+// (experiment, point, sub), not registration order.
+func TestCollectorMergeOrder(t *testing.T) {
+	build := func(order []int) (string, string) {
+		c := NewCollector(0)
+		c.BeginExperiment("exp")
+		recs := map[int]*Recorder{}
+		for _, p := range order {
+			recs[p] = c.Recorder(p, "point")
+		}
+		for p, r := range recs {
+			r.TxCommit(0, uint64(100*(p+1)), 0, -1, p)
+		}
+		var tr, sum bytes.Buffer
+		if err := c.WriteChromeTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		c.WriteSummary(&sum)
+		return tr.String(), sum.String()
+	}
+	t1, s1 := build([]int{0, 1, 2})
+	t2, s2 := build([]int{2, 0, 1})
+	if t1 != t2 {
+		t.Errorf("chrome trace depends on registration order:\n%s\nvs\n%s", t1, t2)
+	}
+	if s1 != s2 {
+		t.Errorf("summary depends on registration order:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestMetricsSidecar(t *testing.T) {
+	c := NewCollector(0)
+	c.BeginExperiment("claims")
+	fillRecorder(c.Recorder(0, "p0"))
+	dir := t.TempDir()
+	if err := c.WriteMetrics(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/claims.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc MetricsJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sidecar unmarshal: %v", err)
+	}
+	if doc.Experiment != "claims" || len(doc.Recorders) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	r := doc.Recorders[0]
+	if r.Counters["sim:switches"] != 7 || r.Counters["stm:backoff.cycles"] != 64 {
+		t.Errorf("counters = %v", r.Counters)
+	}
+	if r.Hists["read_at_commit"].Count != 1 || r.Hists["tx_cycles"].Count != 1 {
+		t.Errorf("hists = %v", r.Hists)
+	}
+	if len(r.Energy) != 1 || r.Energy[0].Total != 1.5 {
+		t.Errorf("energy = %v", r.Energy)
+	}
+	txt, err := os.ReadFile(dir + "/claims.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "route") || !strings.Contains(string(txt), "wasted cycles") {
+		t.Errorf("text summary missing sections:\n%s", txt)
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.BeginExperiment("x")
+	if r := c.Recorder(0, "x"); r != nil {
+		t.Fatal("nil collector handed out a recorder")
+	}
+	if err := c.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.WriteSummary(&buf)
+	if err := c.WriteMetrics(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

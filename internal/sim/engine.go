@@ -182,6 +182,7 @@ func (p *Proc) yield() {
 	// included, so a single replace-at-root (one sift-down) stands in for
 	// the push+pop pair.
 	p.state = stateRunnable
+	e.switches++
 	next := e.replaceMin(p)
 	next.state = stateRunning
 	next.rsm <- struct{}{}
@@ -201,6 +202,7 @@ func (p *Proc) less(q *Proc) bool {
 func (p *Proc) block() {
 	e := p.eng
 	p.state = stateBlocked
+	e.switches++
 	next := e.pop()
 	if next == nil {
 		panic(fmt.Sprintf("sim: deadlock: thread %d blocked with no runnable threads", p.id))
@@ -252,6 +254,9 @@ type Engine struct {
 	coreLive []int
 	htNum    uint64
 	htDen    uint64
+
+	// switches counts scheduler handoffs (yield slow path + blocks).
+	switches uint64
 }
 
 // Result summarises a parallel region.
@@ -355,6 +360,22 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 		if p.clock > res.Cycles {
 			res.Cycles = p.clock
 		}
+	}
+	if rec := h.Rec; rec != nil {
+		d := res.MemStats
+		rec.Add("mem:l1.miss", d.L1Accesses-d.L1Hits)
+		rec.Add("mem:l2.miss", d.L2Accesses-d.L2Hits)
+		rec.Add("mem:l3.miss", d.L3Accesses-d.L3Hits)
+		rec.Add("mem:l1.evict", d.L1Evictions)
+		rec.Add("mem:l2.evict", d.L2Evictions)
+		rec.Add("mem:l3.evict", d.L3Evictions)
+		rec.Add("mem:invalidations", d.Invalidations)
+		rec.Add("mem:writebacks", d.Writebacks)
+		rec.Add("sim:switches", e.switches)
+		rec.Add("sim:regions", 1)
+		// Thread clocks restart at zero every region; rebase the
+		// recorder's timeline so the next region's events follow this one.
+		rec.AdvanceBase(res.Cycles)
 	}
 	return res
 }

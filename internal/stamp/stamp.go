@@ -100,13 +100,17 @@ func Run(b Benchmark, backend tm.Backend, threads int, seed uint64, cfgMod func(
 		Aborts:       sys.Aborts() - abortsBefore,
 	}
 
+	report := energy.Compute(sys.Arch, measure)
+	if sys.Obs != nil {
+		sys.Obs.Energy(report.Sample("roi", roi.Cycles))
+	}
 	res := Result{
 		Name:        b.Name(),
 		Backend:     backend,
 		Threads:     threads,
 		SetupCycles: setup.Cycles,
 		Cycles:      roi.Cycles,
-		EnergyJ:     energy.Compute(sys.Arch, measure).Total(),
+		EnergyJ:     report.Total(),
 		Instr:       roi.TotalInstr(),
 		Starts:      starts(sys) - startsBefore,
 		Commits:     commits(sys) - commitsBefore,

@@ -30,6 +30,7 @@ import (
 	"rtmlab/internal/arch"
 	"rtmlab/internal/lineset"
 	"rtmlab/internal/mem"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/perf"
 	"rtmlab/internal/sim"
 	"rtmlab/internal/vm"
@@ -63,6 +64,18 @@ func (r Reason) String() string {
 		return "validation"
 	default:
 		return "none"
+	}
+}
+
+// ObsCause maps a Reason onto the unified abort-cause taxonomy.
+func (r Reason) ObsCause() obs.Cause {
+	switch r {
+	case ReasonLocked:
+		return obs.CauseLocked
+	case ReasonValidation:
+		return obs.CauseValidation
+	default:
+		return obs.CauseNone
 	}
 }
 
@@ -197,7 +210,11 @@ func (t *Txn) abort(reason Reason) {
 	if window > s.MaxBackoff {
 		window = s.MaxBackoff
 	}
-	t.proc.AddCycles(uint64(t.proc.Rng.Intn(int(window))) + 8)
+	backoff := uint64(t.proc.Rng.Intn(int(window))) + 8
+	if rec := s.h.Rec; rec != nil {
+		rec.STMBackoff(t.proc.ID(), t.proc.Cycles(), backoff, reason.ObsCause())
+	}
+	t.proc.AddCycles(backoff)
 	panic(Abort{Reason: reason})
 }
 
@@ -211,15 +228,23 @@ func (t *Txn) validate() bool {
 		w := s.h.Peek(re.lockAddr)
 		if isLocked(w) {
 			if !t.ownedIdx.Contains(re.lockAddr) {
+				t.noteValidationFail()
 				return false
 			}
 			continue
 		}
 		if wordVersion(w) != re.version {
+			t.noteValidationFail()
 			return false
 		}
 	}
 	return true
+}
+
+func (t *Txn) noteValidationFail() {
+	if rec := t.sys.h.Rec; rec != nil {
+		rec.Add("stm:validation.fail", 1)
+	}
 }
 
 // extend tries to move the snapshot forward (time-based design): reread
@@ -232,6 +257,9 @@ func (t *Txn) extend() bool {
 	}
 	t.rv = now
 	s.Counters.Inc("stm:extend")
+	if rec := s.h.Rec; rec != nil {
+		rec.Add("stm:extend", 1)
+	}
 	return true
 }
 

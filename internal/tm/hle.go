@@ -4,6 +4,7 @@ import (
 	"rtmlab/internal/htm"
 	"rtmlab/internal/locks"
 	"rtmlab/internal/mem"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/trace"
 )
 
@@ -27,10 +28,12 @@ const xabortHLEHeld uint8 = 0xE1
 // atomicHLE runs body as an elided critical section.
 func (c *Ctx) atomicHLE(body func(t Tx)) {
 	if c.tryHLE(body) == nil {
+		c.obsCommit(0)
 		return
 	}
 	c.sys.Counters.Inc("tm:hle.fallback")
 	c.emit(trace.KindFallback, "hle")
+	c.obsInstant(obs.KTxFallback)
 	// Elision failed: take the lock for real. Waiting for the lock to be
 	// free first avoids an abort storm among the other eliders.
 	lk := locks.TAS{Addr: hleLockAddr}
@@ -40,6 +43,7 @@ func (c *Ctx) atomicHLE(body func(t Tx)) {
 	lk.Lock(c)
 	c.atomicDirect(body, rawTx{c})
 	lk.Unlock(c)
+	c.obsCommit(1)
 }
 
 // tryHLE makes the single hardware elision attempt.
@@ -49,6 +53,7 @@ func (c *Ctx) tryHLE(body func(t Tx)) (abort *htm.Abort) {
 			if a, is := r.(htm.Abort); is {
 				c.noteSiteAbort(a.Cause.String())
 				c.emit(trace.KindAbort, a.Cause.String())
+				c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
 				abort = &a
 				return
 			}
@@ -56,7 +61,9 @@ func (c *Ctx) tryHLE(body func(t Tx)) (abort *htm.Abort) {
 		}
 	}()
 	c.resetFrees()
+	c.beginAttempt()
 	c.emit(trace.KindElide, "")
+	c.obsInstant(obs.KTxElide)
 	c.sys.HTM.Begin(c.htx)
 	// The elided acquisition reads the lock word (subscribing to it); a
 	// held lock cannot be elided.

@@ -2,6 +2,7 @@ package tm
 
 import (
 	"rtmlab/internal/htm"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/stm"
 	"rtmlab/internal/trace"
 )
@@ -37,6 +38,7 @@ func (c *Ctx) atomicHybrid(body func(t Tx)) {
 		abort := c.tryHybridHTM(body)
 		if abort == nil {
 			c.lastRetries = retries - 1
+			c.obsCommit(retries - 1)
 			return
 		}
 		if abort.Cause == htm.CauseExplicit && htm.ExplicitCode(abort.Status) == xabortSTMActive {
@@ -53,6 +55,7 @@ func (c *Ctx) atomicHybrid(body func(t Tx)) {
 	// Software fallback: announce, run under TinySTM, retire.
 	s.Counters.Inc("tm:hybrid.fallback")
 	c.emit(trace.KindFallback, "stm")
+	c.obsInstant(obs.KTxFallback)
 	c.RMW(stmActiveAddr, func(v int64) int64 { return v + 1 })
 	c.atomicSTM(body)
 	c.RMW(stmActiveAddr, func(v int64) int64 { return v - 1 })
@@ -66,6 +69,7 @@ func (c *Ctx) tryHybridHTM(body func(t Tx)) (abort *htm.Abort) {
 			if a, is := r.(htm.Abort); is {
 				c.noteSiteAbort(a.Cause.String())
 				c.emit(trace.KindAbort, a.Cause.String())
+				c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
 				abort = &a
 				return
 			}
@@ -73,6 +77,7 @@ func (c *Ctx) tryHybridHTM(body func(t Tx)) (abort *htm.Abort) {
 		}
 	}()
 	c.resetFrees()
+	c.beginAttempt()
 	c.emit(trace.KindBegin, "")
 	c.sys.HTM.Begin(c.htx)
 	if c.htx.Load(stmActiveAddr) != 0 {

@@ -29,6 +29,7 @@ import (
 	"rtmlab/internal/htm"
 	"rtmlab/internal/locks"
 	"rtmlab/internal/mem"
+	"rtmlab/internal/obs"
 	"rtmlab/internal/perf"
 	"rtmlab/internal/sim"
 	"rtmlab/internal/stm"
@@ -113,6 +114,20 @@ type System struct {
 
 	// Trace, if set, records a transaction-event timeline.
 	Trace *trace.Buffer
+
+	// Obs, if set, is the flight recorder receiving commit/abort events,
+	// histograms and the per-site abort matrix. Set it with SetRecorder so
+	// the memory hierarchy (and through it the htm/stm/sim layers) sees
+	// the same recorder.
+	Obs *obs.Recorder
+}
+
+// SetRecorder attaches a flight recorder to the system and its simulated
+// machine (nil detaches). All layers share the one recorder: tm emits
+// transaction events, mem/htm/stm/sim reach it through H.Rec.
+func (s *System) SetRecorder(r *obs.Recorder) {
+	s.Obs = r
+	s.H.Rec = r
 }
 
 // NewSystem builds a fresh machine (hierarchy, page table, heap) and TM
@@ -208,7 +223,7 @@ func (s *System) attach(p *sim.Proc) *Ctx {
 		c = &Ctx{}
 		s.ctxs[tid] = c
 	}
-	*c = Ctx{sys: s, P: p, Pool: s.pools[tid]}
+	*c = Ctx{sys: s, P: p, Pool: s.pools[tid], obsSite: -1}
 	switch s.Backend {
 	case HTM, HTMBare, HLE:
 		c.htx = s.HTM.Attach(p)
@@ -235,6 +250,14 @@ type Ctx struct {
 
 	// Retries counts HTM attempts of the current atomic block.
 	lastRetries int
+
+	// Flight-recorder state: the interned id of the current site, the
+	// cycle the atomic block started (commit slices span the whole block,
+	// retries included) and the cycle the current attempt started (abort
+	// slices cover just the wasted attempt).
+	obsSite      int32
+	blockStart   uint64
+	attemptStart uint64
 }
 
 // System returns the owning system.
@@ -367,14 +390,54 @@ func (c *Ctx) emit(kind trace.Kind, detail string) {
 // ":cycles" (inclusive of retries), ":aborts" and ":abort.<cause>" —
 // the inputs for the paper's per-transaction tables (IV and V).
 func (c *Ctx) AtomicSite(site string, body func(t Tx)) {
-	prev := c.site
+	prev, prevID := c.site, c.obsSite
 	c.site = site
+	if r := c.sys.Obs; r != nil {
+		c.obsSite = r.SiteID(site)
+	}
 	start := c.P.Cycles()
 	c.Atomic(body)
 	cnt := c.sys.Counters
 	cnt.Add("site:"+site+":cycles", c.P.Cycles()-start)
 	cnt.Inc("site:" + site + ":commits")
-	c.site = prev
+	c.site, c.obsSite = prev, prevID
+}
+
+// beginAttempt marks the start of one attempt of the current atomic
+// block (the abort slice's left edge).
+func (c *Ctx) beginAttempt() { c.attemptStart = c.P.Cycles() }
+
+// obsCommit records the committed atomic block on the flight recorder:
+// one slice from block start (retries included) to now.
+func (c *Ctx) obsCommit(retries int) {
+	if r := c.sys.Obs; r != nil {
+		r.TxCommit(c.P.ID(), c.P.Cycles(), c.blockStart, c.obsSite, retries)
+	}
+}
+
+// obsAbort records one wasted attempt with its cause, the conflicting
+// line (0 if none) and the aggressor thread (-1 if none).
+func (c *Ctx) obsAbort(cause obs.Cause, line uint64, by int) {
+	if r := c.sys.Obs; r != nil {
+		r.TxAbort(c.P.ID(), c.P.Cycles(), c.attemptStart, c.obsSite, cause, line, by)
+	}
+}
+
+// obsInstant records a point event (fallback serialisation, HLE elide).
+func (c *Ctx) obsInstant(kind obs.Kind) {
+	if r := c.sys.Obs; r != nil {
+		r.TxInstant(c.P.ID(), c.P.Cycles(), c.obsSite, kind)
+	}
+}
+
+// obsCause maps an HTM abort cause onto the unified taxonomy. The first
+// eight values of both enums are declared in the same order; the guard
+// keeps an out-of-range value from aliasing an STM cause.
+func obsCause(c htm.Cause) obs.Cause {
+	if c <= htm.CauseNestDepth {
+		return obs.Cause(c)
+	}
+	return obs.CauseNone
 }
 
 // noteSiteAbort records a per-site abort with its cause label.
@@ -395,13 +458,17 @@ func (c *Ctx) Atomic(body func(t Tx)) {
 	defer func() { c.inTx = false }()
 	c.sys.Counters.Inc("tm:atomic")
 	c.resetFrees()
+	c.blockStart = c.P.Cycles()
+	c.attemptStart = c.blockStart
 	switch c.sys.Backend {
 	case Seq:
 		c.atomicDirect(body, rawTx{c})
+		c.obsCommit(0)
 	case Lock:
 		c.global()
 		c.atomicDirect(body, rawTx{c})
 		c.sys.global.Unlock(c)
+		c.obsCommit(0)
 	case STM:
 		c.atomicSTM(body)
 	case HTM:
@@ -444,13 +511,16 @@ func (c *Ctx) atomicDirect(body func(t Tx), t Tx) {
 
 // atomicSTM retries the body under TinySTM until it commits.
 func (c *Ctx) atomicSTM(body func(t Tx)) {
+	tries := 0
 	for {
+		tries++
 		done := func() (ok bool) {
 			defer func() {
 				if r := recover(); r != nil {
 					if a, is := r.(stm.Abort); is {
 						c.noteSiteAbort(a.Reason.String())
 						c.emit(trace.KindAbort, a.Reason.String())
+						c.obsAbort(a.Reason.ObsCause(), 0, -1)
 						ok = false
 						return
 					}
@@ -458,6 +528,7 @@ func (c *Ctx) atomicSTM(body func(t Tx)) {
 				}
 			}()
 			c.resetFrees()
+			c.beginAttempt()
 			c.emit(trace.KindBegin, "")
 			c.stx.Begin()
 			body(stmTx{c})
@@ -466,6 +537,7 @@ func (c *Ctx) atomicSTM(body func(t Tx)) {
 			return true
 		}()
 		if done {
+			c.obsCommit(tries - 1)
 			return
 		}
 	}
@@ -480,6 +552,7 @@ func (c *Ctx) atomicHTM(body func(t Tx), bare bool) {
 		abort := c.tryHTM(body, bare)
 		if abort == nil {
 			c.lastRetries = retries - 1
+			c.obsCommit(retries - 1)
 			return
 		}
 		if !bare {
@@ -502,10 +575,12 @@ func (c *Ctx) atomicHTM(body func(t Tx), bare bool) {
 	// write conflict-aborts every transaction that read the lock word.
 	s.Counters.Inc("tm:fallback")
 	c.emit(trace.KindFallback, "")
+	c.obsInstant(obs.KTxFallback)
 	s.serial.WriteLock(c)
 	c.atomicDirect(body, rawTx{c})
 	s.serial.WriteUnlock(c)
 	c.lastRetries = retries
+	c.obsCommit(retries)
 }
 
 // tryHTM makes one hardware attempt; it returns nil on commit.
@@ -515,6 +590,7 @@ func (c *Ctx) tryHTM(body func(t Tx), bare bool) (abort *htm.Abort) {
 			if a, is := r.(htm.Abort); is {
 				c.noteSiteAbort(a.Cause.String())
 				c.emit(trace.KindAbort, a.Cause.String())
+				c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
 				abort = &a
 				return
 			}
@@ -522,6 +598,7 @@ func (c *Ctx) tryHTM(body func(t Tx), bare bool) (abort *htm.Abort) {
 		}
 	}()
 	c.resetFrees()
+	c.beginAttempt()
 	c.emit(trace.KindBegin, "")
 	c.sys.HTM.Begin(c.htx)
 	if !bare {

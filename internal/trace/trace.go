@@ -54,6 +54,7 @@ type Event struct {
 type Buffer struct {
 	events  []Event
 	limit   int
+	counts  [KindElide + 1]int // per-kind tallies, maintained by Emit/Reset
 	Dropped uint64
 }
 
@@ -69,6 +70,9 @@ func (b *Buffer) Emit(e Event) {
 		return
 	}
 	b.events = append(b.events, e)
+	if int(e.Kind) < len(b.counts) {
+		b.counts[e.Kind]++
+	}
 }
 
 // Len returns the number of recorded events.
@@ -85,18 +89,17 @@ func (b *Buffer) Events() []Event {
 // Reset clears the buffer.
 func (b *Buffer) Reset() {
 	b.events = b.events[:0]
+	b.counts = [KindElide + 1]int{}
 	b.Dropped = 0
 }
 
-// Count returns the number of events of the given kind.
+// Count returns the number of recorded events of the given kind in O(1)
+// (hot assertion helpers call this per transaction).
 func (b *Buffer) Count(k Kind) int {
-	n := 0
-	for _, e := range b.events {
-		if e.Kind == k {
-			n++
-		}
+	if int(k) >= len(b.counts) {
+		return 0
 	}
-	return n
+	return b.counts[k]
 }
 
 // WriteText renders the timeline, one event per line.

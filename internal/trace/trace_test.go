@@ -67,6 +67,45 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestCountMaintainedByEmitAndReset pins the O(1) per-kind counters:
+// dropped events must not count, Reset must zero every kind, and the
+// counters must keep agreeing with a scan of the stored events.
+func TestCountMaintainedByEmitAndReset(t *testing.T) {
+	b := NewBuffer(3)
+	kinds := []Kind{KindBegin, KindAbort, KindBegin, KindCommit, KindAbort}
+	for i, k := range kinds {
+		b.Emit(Event{Cycle: uint64(i), Kind: k}) // last two dropped
+	}
+	if b.Count(KindBegin) != 2 || b.Count(KindAbort) != 1 || b.Count(KindCommit) != 0 {
+		t.Fatalf("counts after drops: begin=%d abort=%d commit=%d",
+			b.Count(KindBegin), b.Count(KindAbort), b.Count(KindCommit))
+	}
+	for _, k := range []Kind{KindBegin, KindCommit, KindAbort, KindFallback, KindElide} {
+		scan := 0
+		for _, e := range b.Events() {
+			if e.Kind == k {
+				scan++
+			}
+		}
+		if b.Count(k) != scan {
+			t.Errorf("Count(%v) = %d, scan = %d", k, b.Count(k), scan)
+		}
+	}
+	b.Reset()
+	for _, k := range []Kind{KindBegin, KindCommit, KindAbort, KindFallback, KindElide} {
+		if b.Count(k) != 0 {
+			t.Errorf("Count(%v) = %d after Reset", k, b.Count(k))
+		}
+	}
+	b.Emit(Event{Kind: KindFallback})
+	if b.Count(KindFallback) != 1 {
+		t.Errorf("Count(KindFallback) = %d after re-emit", b.Count(KindFallback))
+	}
+	if b.Count(Kind(200)) != 0 {
+		t.Error("out-of-range kind should count 0")
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
 		KindBegin: "begin", KindCommit: "commit", KindAbort: "abort",

@@ -23,4 +23,27 @@ echo "== benchmark smoke (one iteration each) =="
 # real measurements come from scripts/bench.sh.
 go test -run '^$' -bench . -benchtime 1x ./internal/lineset ./internal/mem ./internal/sim ./internal/htm
 
+echo "== flight-recorder smoke (traced experiment + validation) =="
+# One tiny traced experiment end to end: the trace must be valid JSON
+# with the structure Perfetto needs, and the metrics sidecar must be
+# valid JSON too (tracecheck exits non-zero otherwise).
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/rtmlab -scale test -seeds 1 -trace "$obsdir/trace.json" -metrics "$obsdir/metrics" table4 > /dev/null
+go run ./cmd/tracecheck -metrics "$obsdir/metrics/table4.json" "$obsdir/trace.json"
+
+echo "== disabled-recorder overhead gate (htm vs committed snapshot) =="
+# The flight recorder must cost nothing when off: every site is a nil
+# check. Compare the htm micro-benchmarks (recording disabled, as in the
+# snapshot) against the latest committed BENCH_*.json; min of 3 runs
+# filters scheduler noise. Tolerance in percent, override with
+# BENCH_TOL_PCT for noisy machines.
+snapshot="$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+if [ -n "$snapshot" ]; then
+    go test -run '^$' -bench . -benchtime "${BENCH_GATE_TIME:-0.3s}" -count 3 ./internal/htm \
+        | go run ./cmd/benchjson -baseline "$snapshot" -tol-pct "${BENCH_TOL_PCT:-2}" -only internal/htm
+else
+    echo "no BENCH_*.json snapshot found; skipping"
+fi
+
 echo "ci: all checks passed"
