@@ -1,0 +1,122 @@
+// Command rtmvet is the project's custom static checker. It enforces
+// the invariants the reproduction's claims rest on — determinism of the
+// simulated timeline, zero allocation on //rtm:hot paths, nil-guarded
+// flight-recorder calls, and parameter-sourced rng seeds — at compile
+// time, complementing the dynamic regression tests.
+//
+// Usage:
+//
+//	rtmvet [-json] [-fix] [-passes p1,p2] [-disable p1] [packages]
+//
+// Packages are directories or ./...-style patterns (default ./...).
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+//
+// Findings can be suppressed per line with "//rtmvet:ignore <reason>";
+// the reason is mandatory. -fix rewrites sortable map ranges to iterate
+// detsort.Keys. -json emits the findings as a JSON array.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rtmlab/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON")
+		fix     = flag.Bool("fix", false, "apply suggested fixes (sortable map ranges)")
+		passes  = flag.String("passes", "", "comma-separated passes to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated passes to skip")
+		list    = flag.Bool("list", false, "list available passes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+
+	opt := analysis.Options{}
+	if *passes != "" {
+		opt.Passes = strings.Split(*passes, ",")
+	}
+	if *disable != "" {
+		opt.Disable = strings.Split(*disable, ",")
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+		return 2
+	}
+
+	var all []analysis.Diagnostic
+	for _, dir := range dirs {
+		unit, err := loader.LoadUnit(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.RunUnit(unit, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+			return 2
+		}
+		if *fix && len(diags) > 0 {
+			fixed, remaining, err := analysis.ApplyFixes(unit, diags)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+				return 2
+			}
+			for _, f := range fixed {
+				fmt.Fprintf(os.Stderr, "rtmvet: fixed %s\n", f)
+			}
+			diags = remaining
+		}
+		all = append(all, diags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Pass, d.Message)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rtmvet: %d finding(s)\n", len(all))
+		}
+		return 1
+	}
+	return 0
+}

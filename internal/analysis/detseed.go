@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runDetSeed checks every construction/reseeding of an internal/rng
+// generator, in every package: the seed expression must not pull from
+// wall-clock, pid, environment or ambient-randomness sources. Seeds are
+// experiment inputs — they arrive through flags, config structs or
+// parent generators, which is what makes whole runs replayable.
+func runDetSeed(u *Unit) []Diagnostic {
+	const pass = "detseed"
+	if pkgPathIs(u.Pkg, "internal/rng") {
+		return nil // the generator package itself defines, not consumes, seeds
+	}
+	var diags []Diagnostic
+	for _, fn := range funcDecls(u) {
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObj(u.Info, call)
+			if obj == nil || !pkgPathIs(obj.Pkg(), "internal/rng") {
+				return true
+			}
+			var seed ast.Expr
+			switch obj.Name() {
+			case "New", "Seed":
+				seed = call.Args[0]
+			default:
+				return true
+			}
+			if src, bad := nondetSeedSource(u.Info, seed); bad {
+				diags = append(diags, u.diag(pass, seed.Pos(),
+					"rng seed for %s derived from nondeterministic source %s; take seeds from a parameter or config struct",
+					obj.Name(), src))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// nondetSeedSource scans a seed expression for calls into wall-clock,
+// pid, environment or ambient-randomness APIs.
+func nondetSeedSource(info *types.Info, seed ast.Expr) (string, bool) {
+	var found string
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		bad := false
+		switch obj.Pkg().Path() {
+		case "time":
+			bad = obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until"
+		case "os":
+			bad = obj.Name() == "Getpid" || obj.Name() == "Getppid" ||
+				obj.Name() == "Getenv" || obj.Name() == "LookupEnv"
+		case "math/rand", "math/rand/v2", "crypto/rand":
+			bad = true
+		case "runtime":
+			bad = obj.Name() == "NumGoroutine" || obj.Name() == "Stack"
+		}
+		if bad {
+			found = obj.Pkg().Path() + "." + obj.Name()
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// mapFix is the captured rewrite for one sortable map range:
+//
+//	for k, v := range m { ... }
+//
+// becomes
+//
+//	for _, k := range detsort.Keys(m) {
+//		v := m[k]
+//		...
+//	}
+//
+// plus an import of the detsort package when missing.
+type mapFix struct {
+	rs      *ast.RangeStmt
+	keyName string
+	valName string
+}
+
+// edit is one byte-range replacement.
+type edit struct {
+	start, end int // offsets into the file
+	text       string
+}
+
+// detsortPath returns the import path of the detsort helper package for
+// the loaded module.
+func (l *Loader) detsortPath() string {
+	return l.ModulePath + "/internal/detsort"
+}
+
+// FixFile rewrites every fixable diagnostic of one file and returns the
+// new contents (or nil if nothing in diags applies to the file). src is
+// the file's current bytes; file is its syntax tree.
+func FixFile(u *Unit, file *ast.File, src []byte, diags []Diagnostic) []byte {
+	tf := u.Fset.File(file.Pos())
+	if tf == nil {
+		return nil
+	}
+	var edits []edit
+	needImport := false
+	for _, d := range diags {
+		if d.fix == nil || u.Fset.Position(d.fix.rs.Pos()).Filename != tf.Name() {
+			continue
+		}
+		edits = append(edits, fixEdits(u, tf, src, d.fix)...)
+		needImport = true
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	if needImport && !hasImport(file, u.Loader.detsortPath()) {
+		edits = append(edits, importEdit(u, tf, file))
+	}
+	return applyEdits(src, edits)
+}
+
+// fixEdits builds the byte edits for one map-range rewrite.
+func fixEdits(u *Unit, tf *token.File, src []byte, fix *mapFix) []edit {
+	rs := fix.rs
+	mapSrc := string(src[tf.Offset(rs.X.Pos()):tf.Offset(rs.X.End())])
+
+	// Replace "k, v := range m" / "k := range m" with
+	// "_, k := range detsort.Keys(m)".
+	header := edit{
+		start: tf.Offset(rs.Key.Pos()),
+		end:   tf.Offset(rs.X.End()),
+		text:  fmt.Sprintf("_, %s := range detsort.Keys(%s)", fix.keyName, mapSrc),
+	}
+	edits := []edit{header}
+
+	if fix.valName != "" {
+		// Bind the value as the first body statement, indented one level
+		// deeper than the for line.
+		indent := lineIndent(src, tf.Offset(rs.Pos())) + "\t"
+		edits = append(edits, edit{
+			start: tf.Offset(rs.Body.Lbrace) + 1,
+			end:   tf.Offset(rs.Body.Lbrace) + 1,
+			text:  fmt.Sprintf("\n%s%s := %s[%s]", indent, fix.valName, mapSrc, fix.keyName),
+		})
+	}
+	return edits
+}
+
+// lineIndent returns the leading whitespace of the line containing
+// offset.
+func lineIndent(src []byte, offset int) string {
+	start := offset
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}
+
+func hasImport(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// importEdit inserts the detsort import into the file's import block
+// (creating one after the package clause if there is none).
+func importEdit(u *Unit, tf *token.File, file *ast.File) edit {
+	path := strconv.Quote(u.Loader.detsortPath())
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Rparen.IsValid() {
+			off := tf.Offset(gd.Rparen)
+			return edit{start: off, end: off, text: "\n\t" + path + "\n"}
+		}
+		// Single unparenthesized import: add a sibling declaration.
+		off := tf.Offset(gd.End())
+		return edit{start: off, end: off, text: "\nimport " + path}
+	}
+	off := tf.Offset(file.Name.End())
+	return edit{start: off, end: off, text: "\n\nimport " + path}
+}
+
+// applyEdits applies non-overlapping edits to src, right to left.
+func applyEdits(src []byte, edits []edit) []byte {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start > edits[j].start
+		}
+		return edits[i].end > edits[j].end
+	})
+	out := append([]byte(nil), src...)
+	for _, e := range edits {
+		out = append(out[:e.start], append([]byte(e.text), out[e.end:]...)...)
+	}
+	return out
+}
+
+// ApplyFixes rewrites every fixable diagnostic in place on disk and
+// returns the rewritten file names and the diagnostics that remain
+// unfixed. The rewritten output is re-parsed as a syntax sanity check
+// before anything is written.
+func ApplyFixes(u *Unit, diags []Diagnostic) (fixedFiles []string, remaining []Diagnostic, err error) {
+	fixable := make(map[string]bool)
+	for _, d := range diags {
+		if d.fix != nil {
+			fixable[d.File] = true
+		}
+	}
+	for _, f := range u.Files {
+		name := u.Fset.Position(f.Package).Filename
+		if !fixable[name] {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := FixFile(u, f, src, diags)
+		if out == nil {
+			continue
+		}
+		if _, perr := parser.ParseFile(token.NewFileSet(), name, out, parser.ParseComments); perr != nil {
+			return nil, nil, fmt.Errorf("fix for %s produced invalid Go: %v", name, perr)
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, nil, err
+		}
+		fixedFiles = append(fixedFiles, name)
+	}
+	for _, d := range diags {
+		if d.fix == nil {
+			remaining = append(remaining, d)
+		}
+	}
+	sort.Strings(fixedFiles)
+	return fixedFiles, remaining, nil
+}
+
+// FixPreview returns, per file name, the rewritten contents for the
+// fixable diagnostics without touching disk (used by tests).
+func FixPreview(u *Unit, diags []Diagnostic) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for _, f := range u.Files {
+		name := u.Fset.Position(f.Package).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if fixed := FixFile(u, f, src, diags); fixed != nil {
+			out[name] = fixed
+		}
+	}
+	return out, nil
+}

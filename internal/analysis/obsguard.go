@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runObsGuard verifies that every call to a *obs.Recorder method is
+// dominated by a nil check on the same receiver expression. The flight
+// recorder's disabled state is a nil pointer; an unguarded call on a
+// nil recorder either panics (map/slice fields) or silently does work,
+// and either way the "disabled path costs one compare" promise dies.
+//
+// Recognized guard shapes (receiver rendered textually, so `s.h.Rec`
+// and a local alias `rec := s.h.Rec` each guard their own spelling):
+//
+//	if rec != nil { rec.M() }
+//	if rec := s.h.Rec; rec != nil { rec.M() }
+//	if rec != nil && cond { rec.M() }
+//	if rec == nil { ... } else { rec.M() }
+//	if rec == nil { return }  // or panic/continue/break
+//	rec.M()
+//	rec := obs.NewRecorder(...)  // constructor result is never nil
+//	rec.M()
+//
+// The obs package itself is exempt: its methods run behind the caller's
+// guard by construction.
+func runObsGuard(u *Unit) []Diagnostic {
+	const pass = "obsguard"
+	if pkgPathIs(u.Pkg, "internal/obs") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fn := range funcDecls(u) {
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, ok := u.Info.Selections[sel]
+			if !ok || selInfo.Kind() != types.MethodVal {
+				return true
+			}
+			if !isNamedType(selInfo.Recv(), "internal/obs", "Recorder") {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			if !nilGuarded(u, call, key) {
+				diags = append(diags, u.diag(pass, call.Pos(),
+					"*obs.Recorder method %s called on %s without a dominating nil check (the disabled recorder is nil)",
+					sel.Sel.Name, key))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// nilGuarded walks the ancestor chain of call looking for a guard that
+// proves key is non-nil at the call site.
+func nilGuarded(u *Unit, call ast.Node, key string) bool {
+	child := ast.Node(call)
+	for {
+		parent := u.Parent(child)
+		if parent == nil {
+			return false
+		}
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			if p.Body == child && condImpliesNonNil(p.Cond, key) {
+				return true
+			}
+			if p.Else == child && condIsNilCheck(p.Cond, key) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Preceding siblings: early-return guards and non-nil
+			// constructor assignments.
+			for _, st := range p.List {
+				if st.End() >= child.Pos() {
+					break
+				}
+				if earlyExitOnNil(st, key) || assignsNonNil(u, st, key) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Function boundary: captures of an outer guard would be
+			// unsound to assume (the closure may run later).
+			return false
+		}
+		child = parent
+	}
+}
+
+// condImpliesNonNil reports whether cond evaluating true implies
+// key != nil.
+func condImpliesNonNil(cond ast.Expr, key string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ:
+			return binaryNilCheck(c, key)
+		case token.LAND:
+			return condImpliesNonNil(c.X, key) || condImpliesNonNil(c.Y, key)
+		}
+	}
+	return false
+}
+
+// condIsNilCheck reports whether cond is exactly `key == nil`.
+func condIsNilCheck(cond ast.Expr, key string) bool {
+	c, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && c.Op == token.EQL && binaryNilCheck(c, key)
+}
+
+// binaryNilCheck reports whether one side of c is the nil identifier and
+// the other renders as key.
+func binaryNilCheck(c *ast.BinaryExpr, key string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(c.Y) {
+		return types.ExprString(c.X) == key
+	}
+	if isNil(c.X) {
+		return types.ExprString(c.Y) == key
+	}
+	return false
+}
+
+// earlyExitOnNil reports whether st is `if key == nil { ...exit }` where
+// the guarded body unconditionally leaves the enclosing scope.
+func earlyExitOnNil(st ast.Stmt, key string) bool {
+	ifs, ok := st.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || !condIsNilCheck(ifs.Cond, key) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// assignsNonNil reports whether st assigns key from an expression that
+// cannot be nil (obs.NewRecorder).
+func assignsNonNil(u *Unit, st ast.Stmt, key string) bool {
+	assign, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, lhs := range assign.Lhs {
+		if types.ExprString(lhs) != key || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if obj := calleeObj(u.Info, call); obj != nil && obj.Name() == "NewRecorder" && pkgPathIs(obj.Pkg(), "internal/obs") {
+			return true
+		}
+	}
+	return false
+}

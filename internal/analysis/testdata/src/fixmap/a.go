@@ -1,0 +1,22 @@
+// Package fixmap exercises the -fix rewrite for sortable map ranges.
+//
+//rtmvet:deterministic
+package fixmap
+
+import "strconv"
+
+func Rows(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, k+"="+strconv.Itoa(v))
+	}
+	return rows
+}
+
+func KeysOnly(m map[uint64]struct{}) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,75 @@
+// Package obsfix exercises the obsguard pass.
+package obsfix
+
+import "rtmlab/internal/obs"
+
+type holder struct{ rec *obs.Recorder }
+
+func guarded(h *holder) {
+	if h.rec != nil {
+		h.rec.Add("x", 1)
+	}
+}
+
+func guardedInit(h *holder) {
+	if r := h.rec; r != nil {
+		r.Add("x", 1)
+	}
+}
+
+func guardedAnd(h *holder, on bool) {
+	if h.rec != nil && on {
+		h.rec.Add("x", 1)
+	}
+}
+
+func guardedEarlyReturn(h *holder) {
+	if h.rec == nil {
+		return
+	}
+	h.rec.Add("x", 1)
+}
+
+func guardedElseBranch(h *holder) {
+	if h.rec == nil {
+		_ = h
+	} else {
+		h.rec.Add("x", 1)
+	}
+}
+
+func constructedOK() uint64 {
+	r := obs.NewRecorder("fixture", 0)
+	r.Add("x", 1)
+	return r.Counter("x")
+}
+
+func unguarded(h *holder) {
+	h.rec.Add("x", 1) // want `without a dominating nil check`
+}
+
+func wrongReceiver(h *holder, other *obs.Recorder) {
+	if other != nil {
+		h.rec.Add("x", 1) // want `without a dominating nil check`
+	}
+}
+
+func guardWrongPolarity(h *holder) {
+	if h.rec == nil {
+		h.rec.Label() // want `without a dominating nil check`
+	}
+}
+
+func closureEscapesGuard(h *holder) func() {
+	if h.rec == nil {
+		return func() {}
+	}
+	return func() {
+		h.rec.Add("x", 1) // want `without a dominating nil check`
+	}
+}
+
+func suppressed(h *holder) {
+	//rtmvet:ignore callers construct the recorder before attaching the holder
+	h.rec.Add("x", 1)
+}

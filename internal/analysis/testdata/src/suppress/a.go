@@ -1,0 +1,21 @@
+// Package suppressfix exercises the suppression rules: an ignore
+// without a reason suppresses nothing and is itself a finding.
+//
+//rtmvet:deterministic
+package suppressfix
+
+import "time"
+
+func bare() int64 {
+	//rtmvet:ignore
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func reasoned() int64 {
+	//rtmvet:ignore startup banner only, never inside a region
+	return time.Now().UnixNano()
+}
+
+func trailing() int64 {
+	return time.Now().UnixNano() //rtmvet:ignore startup banner only, never inside a region
+}

@@ -1,0 +1,35 @@
+package htm
+
+import (
+	"testing"
+
+	"rtmlab/internal/arch"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/sim"
+)
+
+// TestTxnCycleZeroAlloc pins the //rtm:hot contract on the HTM hot path:
+// after one warm-up transaction establishes set and undo-log capacity, a
+// begin/load/store/commit cycle over the same working set allocates
+// nothing (linesets clear by epoch, the undo log by reslicing).
+func TestTxnCycleZeroAlloc(t *testing.T) {
+	cfg := benchCfg()
+	h := mem.New(cfg)
+	s := NewSystem(cfg, h, nil)
+	sim.Run(cfg, h, 1, 1, nil, func(p *sim.Proc) {
+		const lines = 64
+		tx := s.Attach(p)
+		cycle := func() {
+			s.Begin(tx)
+			for i := 0; i < lines; i++ {
+				tx.Load(uint64(i) * arch.LineSize)
+				tx.Store(uint64(i)*arch.LineSize, int64(i))
+			}
+			tx.Commit()
+		}
+		cycle() // warm: sets, undo log and directory reach the high-water mark
+		if n := testing.AllocsPerRun(50, cycle); n != 0 {
+			t.Errorf("htm txn cycle allocates %v allocs/run at steady state", n)
+		}
+	})
+}

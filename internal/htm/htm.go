@@ -208,18 +208,20 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 }
 
 // preOp runs before every simulated operation of the owning thread.
+//
+//rtm:hot
 func (s *System) preOp(tx *Txn) {
 	if !tx.active {
 		return
 	}
 	if tx.pending {
 		tx.pending = false
-		panic(tx.pendingAbort)
+		panic(tx.pendingAbort) //rtmvet:ignore abort delivery, runs once per abort not per operation
 	}
 	if s.tickBetween(tx.proc.Core(), tx.start, tx.proc.Cycles()) {
 		s.abortTx(tx, Abort{Status: StatusRetry, Cause: CauseInterrupt, ByThread: -1})
 		tx.pending = false
-		panic(tx.pendingAbort)
+		panic(tx.pendingAbort) //rtmvet:ignore abort delivery, runs once per abort not per operation
 	}
 }
 
@@ -232,6 +234,8 @@ func (s *System) preOp(tx *Txn) {
 // boundary do individual (hashed) ticks need checking, and then the
 // candidate range spans at most ~j/p + 2 ticks — long quiescent gaps
 // cost O(1) instead of O((to-from)/p).
+//
+//rtm:hot
 func (s *System) tickBetween(core int, from, to uint64) bool {
 	p := s.cfg.TSX.TickPeriod
 	if p == 0 || to <= from {
@@ -261,6 +265,8 @@ func (s *System) tickBetween(core int, from, to uint64) bool {
 }
 
 // tickHash is a deterministic per-(core, tick) jitter source.
+//
+//rtm:hot
 func tickHash(core, k uint64) uint64 {
 	x := core*0x9e3779b97f4a7c15 + k
 	x ^= x >> 33
@@ -295,17 +301,21 @@ func (s *System) Begin(tx *Txn) uint32 {
 
 // ensureActive delivers a pending remote abort (unwinding the body) or
 // panics on misuse outside a transaction.
+//
+//rtm:hot
 func (t *Txn) ensureActive(op string) {
 	if t.pending {
 		t.pending = false
-		panic(t.pendingAbort)
+		panic(t.pendingAbort) //rtmvet:ignore abort delivery, runs once per abort not per operation
 	}
 	if !t.active {
-		panic("htm: " + op + " outside transaction")
+		panic("htm: " + op + " outside transaction") //rtmvet:ignore misuse panic, unreachable in a correct harness
 	}
 }
 
 // Load performs a transactional read.
+//
+//rtm:hot
 func (t *Txn) Load(addr uint64) int64 {
 	s := t.sys
 	t.ensureActive("Load")
@@ -341,6 +351,8 @@ func (t *Txn) Load(addr uint64) int64 {
 }
 
 // Store performs a transactional write.
+//
+//rtm:hot
 func (t *Txn) Store(addr uint64, val int64) {
 	s := t.sys
 	t.ensureActive("Store")

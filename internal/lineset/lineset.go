@@ -77,6 +77,8 @@ func (t *Table[V]) reset(bits int) {
 // home is the preferred slot for key k (Fibonacci multiplicative hash:
 // line and lock addresses are low-entropy in their low bits, and the
 // golden-ratio multiply spreads sequential keys across the table).
+//
+//rtm:hot
 func (t *Table[V]) home(k uint64) uint64 {
 	return (k * 0x9e3779b97f4a7c15) >> t.shift
 }
@@ -84,6 +86,8 @@ func (t *Table[V]) home(k uint64) uint64 {
 // find returns the slot index holding k, or -1. Probe chains are
 // contiguous (backward-shift deletion leaves no tombstones), so the
 // scan stops at the first dead slot.
+//
+//rtm:hot
 func (t *Table[V]) find(k uint64) int {
 	i := t.home(k)
 	for {
@@ -99,12 +103,18 @@ func (t *Table[V]) find(k uint64) int {
 }
 
 // Len returns the number of live entries.
+//
+//rtm:hot
 func (t *Table[V]) Len() int { return t.n }
 
 // Contains reports whether k is present.
+//
+//rtm:hot
 func (t *Table[V]) Contains(k uint64) bool { return t.find(k) >= 0 }
 
 // Get returns the payload for k and whether it is present.
+//
+//rtm:hot
 func (t *Table[V]) Get(k uint64) (V, bool) {
 	if i := t.find(k); i >= 0 {
 		return t.slots[i].val, true
@@ -115,6 +125,8 @@ func (t *Table[V]) Get(k uint64) (V, bool) {
 
 // Ref returns a pointer to k's payload, or nil if absent. The pointer
 // is invalidated by any subsequent insert, delete or clear.
+//
+//rtm:hot
 func (t *Table[V]) Ref(k uint64) *V {
 	if i := t.find(k); i >= 0 {
 		return &t.slots[i].val
@@ -125,6 +137,8 @@ func (t *Table[V]) Ref(k uint64) *V {
 // Upsert returns a pointer to k's payload, inserting a zero-valued
 // entry if absent, and reports whether it inserted. The pointer is
 // invalidated by any subsequent insert, delete or clear.
+//
+//rtm:hot
 func (t *Table[V]) Upsert(k uint64) (*V, bool) {
 	if t.n >= t.limit {
 		t.grow()
@@ -146,6 +160,8 @@ func (t *Table[V]) Upsert(k uint64) (*V, bool) {
 }
 
 // Put sets k's payload to v, inserting if absent.
+//
+//rtm:hot
 func (t *Table[V]) Put(k uint64, v V) {
 	p, _ := t.Upsert(k)
 	*p = v
@@ -153,6 +169,8 @@ func (t *Table[V]) Put(k uint64, v V) {
 
 // Delete removes k, compacting its probe chain by backward shift, and
 // reports whether it was present.
+//
+//rtm:hot
 func (t *Table[V]) Delete(k uint64) bool {
 	i := t.find(k)
 	if i < 0 {
@@ -181,6 +199,8 @@ func (t *Table[V]) Delete(k uint64) bool {
 }
 
 // Clear empties the table in O(1), keeping its capacity.
+//
+//rtm:hot
 func (t *Table[V]) Clear() {
 	t.epoch++
 	t.n = 0
@@ -234,21 +254,31 @@ func NewSet(hint int) *Set {
 }
 
 // Len returns the number of keys.
+//
+//rtm:hot
 func (s *Set) Len() int { return s.t.n }
 
 // Contains reports whether k is in the set.
+//
+//rtm:hot
 func (s *Set) Contains(k uint64) bool { return s.t.find(k) >= 0 }
 
 // Add inserts k and reports whether it was newly added.
+//
+//rtm:hot
 func (s *Set) Add(k uint64) bool {
 	_, added := s.t.Upsert(k)
 	return added
 }
 
 // Remove deletes k and reports whether it was present.
+//
+//rtm:hot
 func (s *Set) Remove(k uint64) bool { return s.t.Delete(k) }
 
 // Clear empties the set in O(1), keeping its capacity.
+//
+//rtm:hot
 func (s *Set) Clear() { s.t.Clear() }
 
 // Range calls f for each key in table order until f returns false. The

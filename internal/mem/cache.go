@@ -38,6 +38,8 @@ func newCache(sets, ways int) *cache {
 }
 
 // set returns the slice of ways for the set holding lineAddr.
+//
+//rtm:hot
 func (c *cache) set(lineAddr uint64) []line {
 	s := int(lineAddr & c.setMask)
 	return c.lines[s*c.ways : (s+1)*c.ways]
@@ -45,6 +47,8 @@ func (c *cache) set(lineAddr uint64) []line {
 
 // lookup returns the entry for lineAddr, or nil on a miss. On a hit the LRU
 // stamp is refreshed.
+//
+//rtm:hot
 func (c *cache) lookup(lineAddr uint64) *line {
 	if c.lastTag == lineAddr && c.lastIdx >= 0 {
 		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {
@@ -69,6 +73,8 @@ func (c *cache) lookup(lineAddr uint64) *line {
 // present reports whether lineAddr is cached, without touching LRU state.
 // A memo hit answers without the set scan; a scan hit refreshes the memo
 // (setting it is always safe — every use re-validates).
+//
+//rtm:hot
 func (c *cache) present(lineAddr uint64) bool {
 	if c.lastTag == lineAddr && c.lastIdx >= 0 {
 		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {
@@ -89,6 +95,8 @@ func (c *cache) present(lineAddr uint64) bool {
 // insert places lineAddr into its set, evicting the LRU entry if the set is
 // full. It returns the evicted line address and true if an eviction
 // happened. The new entry's directory fields are zeroed (owner -1).
+//
+//rtm:hot
 func (c *cache) insert(lineAddr uint64) (victim uint64, evicted bool, entry *line) {
 	set := c.set(lineAddr)
 	vi := 0
@@ -114,6 +122,8 @@ place:
 // A memo hit skips the set scan; dropping the memoized line invalidates
 // the memo so later probes for the same tag don't pay a dead fast-path
 // compare before falling back to the scan.
+//
+//rtm:hot
 func (c *cache) drop(lineAddr uint64) bool {
 	if c.lastTag == lineAddr && c.lastIdx >= 0 {
 		if l := &c.lines[c.lastIdx]; l.valid && l.tag == lineAddr {

@@ -128,6 +128,8 @@ func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
 }
 
 // lockOf maps a data address to its versioned-lock address.
+//
+//rtm:hot
 func (s *System) lockOf(addr uint64) uint64 {
 	idx := (addr >> 3) & s.lockMask
 	return s.lockBase + idx*arch.WordSize
@@ -264,6 +266,8 @@ func (t *Txn) extend() bool {
 }
 
 // Load performs a transactional read.
+//
+//rtm:hot
 func (t *Txn) Load(addr uint64) int64 {
 	if !t.active {
 		panic("stm: Load outside transaction")
@@ -311,6 +315,8 @@ func (t *Txn) Load(addr uint64) int64 {
 
 // Store performs a transactional write: acquire the versioned lock at
 // encounter time, buffer the value.
+//
+//rtm:hot
 func (t *Txn) Store(addr uint64, val int64) {
 	if !t.active {
 		panic("stm: Store outside transaction")
@@ -351,6 +357,9 @@ func (t *Txn) Store(addr uint64, val int64) {
 	t.putWrite(addr, val)
 }
 
+// putWrite appends addr/val to the ordered write log and indexes it.
+//
+//rtm:hot
 func (t *Txn) putWrite(addr uint64, val int64) {
 	t.writeIdx.Put(addr, int32(len(t.writes)))
 	t.writes = append(t.writes, writeEntry{addr: addr, val: val})

@@ -9,14 +9,20 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== rtmvet (project invariants) =="
+# Project-specific static analysis: determinism in simulator packages,
+# allocation-free //rtm:hot functions, nil-guarded recorder calls,
+# deterministic RNG seeding. See scripts/lint.sh for local runs.
+go run ./cmd/rtmvet ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (runner, sim, mem, harness) =="
-go test -race -short ./internal/runner ./internal/sim ./internal/mem ./internal/harness
+echo "== go test -race (all packages) =="
+go test -race -short -timeout 10m ./...
 
 echo "== benchmark smoke (one iteration each) =="
 # Keeps the micro-benchmarks compiling and runnable so they can't rot;

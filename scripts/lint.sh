@@ -1,0 +1,20 @@
+#!/bin/sh
+# Static analysis for local development: go vet plus the project's own
+# rtmvet passes (determinism, hot-path allocation, recorder guards,
+# deterministic seeding). Arguments are package patterns; defaults to
+# the whole module. Examples:
+#
+#   scripts/lint.sh                      # everything
+#   scripts/lint.sh ./internal/htm       # one package
+#   scripts/lint.sh -json ./...          # machine-readable findings
+#
+# rtmvet flags (-json, -fix, -passes, -disable, -list) pass through.
+set -e
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    set -- ./...
+fi
+
+go vet ./...
+exec go run ./cmd/rtmvet "$@"
