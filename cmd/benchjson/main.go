@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -190,11 +191,16 @@ func compare(base, cur Snapshot, tolPct float64, only string) (string, bool) {
 	sort.Strings(keys)
 	var sb strings.Builder
 	regressed := false
+	logSum, geoN := 0.0, 0
 	for _, k := range keys {
 		b, c := baseNs[k], curNs[k]
 		deltaPct := 0.0
 		if b > 0 {
 			deltaPct = (c - b) / b * 100
+		}
+		if b > 0 && c > 0 {
+			logSum += math.Log(c / b)
+			geoN++
 		}
 		verdict := "ok"
 		if deltaPct > tolPct {
@@ -206,6 +212,13 @@ func compare(base, cur Snapshot, tolPct float64, only string) (string, bool) {
 	if len(keys) == 0 {
 		fmt.Fprintf(&sb, "no overlapping benchmarks between baseline and current run\n")
 		return sb.String(), true
+	}
+	// Geometric mean of the per-benchmark current/baseline ns/op ratios:
+	// the one-number drift summary (1.00 = no change, < 1 = faster).
+	if geoN > 0 {
+		geomean := math.Exp(logSum / float64(geoN))
+		fmt.Fprintf(&sb, "geomean ns/op ratio vs baseline: %.3fx over %d benchmarks (%+.1f%%)\n",
+			geomean, geoN, (geomean-1)*100)
 	}
 	if regressed {
 		fmt.Fprintf(&sb, "FAIL: regression beyond %.1f%% tolerance\n", tolPct)

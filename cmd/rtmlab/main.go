@@ -13,8 +13,11 @@
 //
 // Independent experiment points run concurrently on -j workers (default:
 // one per CPU); results are collected by point index, so the output is
-// byte-identical at any -j. Use -cpuprofile/-memprofile to capture pprof
-// profiles of the run.
+// byte-identical at any -j. Within a point, -shards N runs the simulated
+// threads on N epoch-synchronized engine shards (-shards -1 picks one per
+// simulated core); sharded semantics depend only on the epoch length, so
+// output is byte-identical for any shards >= 1, and -shards composes with
+// -j. Use -cpuprofile/-memprofile to capture pprof profiles of the run.
 //
 // The flight recorder (-trace, -metrics) captures per-thread transaction
 // events across the instrumented experiments (fig10, table4, table5,
@@ -48,10 +51,13 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		metricsDir = flag.String("metrics", "", "directory for per-experiment JSON metrics + text summaries")
 		traceLimit = flag.Int("trace-limit", 1<<16, "max events kept per thread track (0 = unbounded)")
+		shards     = flag.Int("shards", 0, "intra-point engine shards: 0 = classic serial engine, N > 0 = N epoch-synchronized workers, -1 = auto (one per simulated core); output is byte-identical for any shards >= 1")
+		epochCyc   = flag.Uint64("epoch-cycles", 0, "coherence-epoch length in simulated cycles for -shards (0 = default)")
 	)
 	flag.Parse()
 
-	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs}
+	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs,
+		Shards: *shards, EpochCycles: *epochCyc}
 	if *traceOut != "" || *metricsDir != "" {
 		o.Obs = obs.NewCollector(*traceLimit)
 	}

@@ -52,9 +52,29 @@ func NewHeap(pt *vm.PageTable) *Heap {
 // Brk returns the current top of the heap (for diagnostics).
 func (h *Heap) Brk() uint64 { return h.brk }
 
+// shardProc is the slice of sim.Proc the heap needs to serialise growth
+// under the epoch-sharded engine (declared here so alloc does not import
+// sim).
+type shardProc interface {
+	ShardActive() bool
+	Exclusive(fn func())
+}
+
 // Grow carves size bytes (rounded up to a page) from the heap and returns
-// the base address. sink receives the time cost.
+// the base address. sink receives the time cost. The heap is shared state:
+// when the sink is a shard worker in the parallel phase, the growth runs
+// as an exclusive boundary op so allocation addresses are assigned in
+// deterministic (cycle, thread) order regardless of shard count.
 func (h *Heap) Grow(sink vm.CycleSink, size uint64) uint64 {
+	if sp, ok := sink.(shardProc); ok && sp.ShardActive() {
+		var base uint64
+		sp.Exclusive(func() { base = h.grow(sink, size) })
+		return base
+	}
+	return h.grow(sink, size)
+}
+
+func (h *Heap) grow(sink vm.CycleSink, size uint64) uint64 {
 	size = (size + arch.PageSize - 1) &^ (arch.PageSize - 1)
 	base := h.brk
 	h.brk += size

@@ -106,6 +106,38 @@ type Energy struct {
 	AbortNJ     float64 // fixed energy per transaction rollback
 }
 
+// Sharding configures the epoch-synchronized sharded engine (see
+// internal/sim: sharded execution partitions cores across concurrent
+// shard workers that synchronize at coherence-epoch boundaries).
+type Sharding struct {
+	// Shards selects the engine: 0 runs the classic serial min-clock
+	// scheduler; > 0 runs the epoch-synchronized sharded engine with that
+	// many shard workers; < 0 runs the sharded engine with an
+	// automatically chosen worker count (one per physical core, capped by
+	// the host's available parallelism). The simulated semantics of the
+	// sharded engine depend only on EpochCycles, never on the worker
+	// count, so output is byte-identical for any Shards >= 1 (and for
+	// auto).
+	Shards int
+	// EpochCycles is the coherence-epoch length in simulated cycles. All
+	// cross-shard state (cache misses, coherence directory updates,
+	// transactional conflict checks) is exchanged at epoch boundaries in
+	// (cycle, thread) order. 0 means DefaultEpochCycles.
+	EpochCycles uint64
+}
+
+// DefaultEpochCycles is the coherence-epoch length used when
+// Sharding.EpochCycles is zero.
+const DefaultEpochCycles = 4096
+
+// Epoch returns the effective epoch length.
+func (s Sharding) Epoch() uint64 {
+	if s.EpochCycles == 0 {
+		return DefaultEpochCycles
+	}
+	return s.EpochCycles
+}
+
 // Config is a complete machine description.
 type Config struct {
 	Name           string
@@ -123,6 +155,7 @@ type Config struct {
 	TSX        TSX
 	STM        STM
 	Energy     Energy
+	Shard      Sharding
 }
 
 // MaxThreads returns the total number of hardware threads.

@@ -65,12 +65,12 @@ func AblationLockArray(w io.Writer, o Options) {
 	}
 	p := eigenbench.Default(2 << 20)
 	tuneLoops(&p, o)
-	seqSys := tm.NewSystem(arch.Haswell(), tm.Seq)
+	seqSys := tm.NewSystem(o.Machine(), tm.Seq)
 	seq := eigenbench.Run(seqSys, p.Sequential(), 1)
 	log2s := []int{14, 16, 18, 20, 21}
 	addRows(t, runner.Map(o.Jobs, len(log2s), func(i int) []string {
 		log2 := log2s[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.STM.LockArrayLog2 = log2
 		r := eigenbench.Run(tm.NewSystem(cfg, tm.STM), p, 1)
 		return []string{itoa(log2), itoa((1 << uint(log2)) * 8 >> 20), f3(r.AbortRate),
@@ -93,7 +93,7 @@ func AblationTick(w io.Writer, o Options) {
 	periods := []uint64{1_000_000, 3_000_000, 7_500_000, 15_000_000}
 	addRows(t, runner.Map(o.Jobs, len(periods), func(i int) []string {
 		period := periods[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.TSX.TickPeriod = period
 		row := []string{f2(float64(period) / 1e6)}
 		for _, dur := range []uint64{100_000, 1_000_000, 10_000_000} {
@@ -124,7 +124,7 @@ func AblationReadSet(w io.Writer, o Options) {
 	levels := []int{3, 2}
 	addRows(t, runner.Map(o.Jobs, len(levels), func(i int) []string {
 		level := levels[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.TSX.ReadSetLevel = level
 		cfg.TSX.TickPeriod = 0
 		bound := cfg.L3.Lines()
@@ -161,7 +161,7 @@ func AblationMemBW(w io.Writer, o Options) {
 	gaps := []uint64{0, 8, 16, 32, 64}
 	addRows(t, runner.Map(o.Jobs, len(gaps), func(i int) []string {
 		gap := gaps[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.Lat.MemBandwidthGap = gap
 		p := eigenbench.Default(4 << 20)
 		tuneLoops(&p, o)
@@ -200,7 +200,7 @@ func AblationPrefetch(w io.Writer, o Options) {
 	}
 	outs := runner.Map(o.Jobs, len(modes), func(i int) pointOut {
 		on := modes[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.Lat.PrefetchNextLine = on
 		sys := tm.NewSystem(cfg, tm.Seq)
 		scan := sys.Run(1, 1, func(c *tm.Ctx) {
@@ -250,7 +250,7 @@ func AblationL1(w io.Writer, o Options) {
 	}
 	addRows(t, runner.Map(o.Jobs, len(geoms), func(i int) []string {
 		geom := geoms[i]
-		cfg := arch.Haswell()
+		cfg := o.Machine()
 		cfg.L1 = geom
 		cfg.TSX.TickPeriod = 0
 		lines := geom.Lines()

@@ -3,7 +3,6 @@ package harness
 import (
 	"io"
 
-	"rtmlab/internal/arch"
 	"rtmlab/internal/eigenbench"
 	"rtmlab/internal/runner"
 	"rtmlab/internal/stamp"
@@ -37,7 +36,7 @@ func Claims(w io.Writer, o Options) {
 	// mk builds a plain system; mkObs additionally attaches a flight
 	// recorder keyed by the claim-block index (the fan-out point), so the
 	// merged trace is identical at any -j.
-	mk := func(b tm.Backend) *tm.System { return tm.NewSystem(arch.Haswell(), b) }
+	mk := func(b tm.Backend) *tm.System { return tm.NewSystem(o.Machine(), b) }
 	mkObs := func(bi int, b tm.Backend, label string) *tm.System {
 		return o.obsSystem(func() *tm.System { return mk(b) }, bi, label)
 	}
@@ -100,7 +99,7 @@ func Claims(w io.Writer, o Options) {
 		},
 		// 5. Write-set bounded by L1, read-set by L3 (Fig. 1).
 		func(bi int) []claimRow {
-			cfg := arch.Haswell()
+			cfg := o.Machine()
 			cfg.TSX.TickPeriod = 0
 			wOK := capacityAbortRate(cfg, cfg.L1.Lines(), true, 2) == 0 &&
 				capacityAbortRate(cfg, cfg.L1.Lines()+1, true, 2) == 1

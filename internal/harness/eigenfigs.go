@@ -52,7 +52,7 @@ func maxi(a, b int) int {
 // comparePoint runs p under each backend plus the shared sequential
 // baseline, averaged over o.Seeds seeds.
 func comparePoint(o Options, p eigenbench.Params, backends []tm.Backend) map[tm.Backend]point {
-	cfg := arch.Haswell()
+	cfg := o.Machine()
 	out := map[tm.Backend]point{}
 	seeds := o.Seeds
 	if seeds < 1 {

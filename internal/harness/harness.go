@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rtmlab/internal/arch"
 	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
 	"rtmlab/internal/tm"
@@ -38,20 +39,43 @@ type Options struct {
 	// hybrid study). Recorders are keyed by (experiment, point, sub), so
 	// trace and metrics output stays byte-identical at any Jobs value.
 	Obs *obs.Collector
+	// Shards selects the intra-point engine (see arch.Sharding): 0 is the
+	// classic serial scheduler, > 0 the epoch-synchronized sharded engine
+	// with that many workers, < 0 auto (one per simulated physical core,
+	// capped by the host). Sharded results depend only on EpochCycles,
+	// never on the worker count, so output is byte-identical for any
+	// Shards >= 1; it composes freely with Jobs (inter-point fan-out).
+	Shards int
+	// EpochCycles overrides the coherence-epoch length of the sharded
+	// engine (0 = arch.DefaultEpochCycles).
+	EpochCycles uint64
 }
 
-// obsMod composes a recorder attachment for the given point index and
-// label with an existing system modifier. With observability off it
-// returns mod unchanged, so call sites pay nothing.
+// Machine returns the simulated machine description with the options'
+// engine sharding applied. Experiments construct configs through this so
+// -shards reaches every point.
+func (o Options) Machine() *arch.Config {
+	cfg := arch.Haswell()
+	cfg.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
+	return cfg
+}
+
+// obsMod composes the options' engine sharding and a recorder attachment
+// for the given point index and label with an existing system modifier.
+// With observability and sharding both off it returns mod unchanged, so
+// call sites pay nothing.
 func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.System) {
-	if o.Obs == nil {
+	if o.Obs == nil && o.Shards == 0 && o.EpochCycles == 0 {
 		return mod
 	}
 	return func(sys *tm.System) {
+		sys.Arch.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
 		if mod != nil {
 			mod(sys)
 		}
-		sys.SetRecorder(o.Obs.Recorder(point, label))
+		if o.Obs != nil {
+			sys.SetRecorder(o.Obs.Recorder(point, label))
+		}
 	}
 }
 
@@ -59,6 +83,7 @@ func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.
 // point (for call sites that construct systems directly).
 func (o Options) obsSystem(cfg func() *tm.System, point int, label string) *tm.System {
 	sys := cfg()
+	sys.Arch.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
 	if o.Obs != nil {
 		sys.SetRecorder(o.Obs.Recorder(point, label))
 	}

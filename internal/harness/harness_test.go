@@ -9,6 +9,7 @@ import (
 
 	"rtmlab/internal/arch"
 	"rtmlab/internal/stamp"
+	"rtmlab/internal/tm"
 )
 
 func testOptions(t *testing.T) Options {
@@ -80,11 +81,11 @@ func TestDurationAbortRateMonotone(t *testing.T) {
 }
 
 func TestQueueDrainBackends(t *testing.T) {
-	lock := queueDrain(1, 1, 500, 0) // tm.Lock == 1
+	lock := queueDrain(Options{}, tm.Lock, 1, 500, 0)
 	if lock == 0 {
 		t.Fatal("zero drain time")
 	}
-	cas := queueDrainCAS(1, 500, 0)
+	cas := queueDrainCAS(Options{}, 1, 500, 0)
 	if cas == 0 || cas >= lock {
 		t.Fatalf("single-thread CAS (%d) should be cheaper than lock (%d)", cas, lock)
 	}

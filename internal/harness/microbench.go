@@ -36,7 +36,7 @@ func attemptOnce(sys *htm.System, tx *htm.Txn, body func()) (abort *htm.Abort) {
 // versus the number of distinct cache lines accessed per transaction.
 // Expected walls: writes at 512 lines (L1), reads at 128K lines (L3).
 func Fig1(w io.Writer, o Options) {
-	cfg := arch.Haswell()
+	cfg := o.Machine()
 	t := &Table{
 		ID:     "fig1",
 		Title:  "RTM read-set and write-set capacity test (abort rate vs lines touched)",
@@ -94,7 +94,7 @@ func capacityAbortRate(cfg *arch.Config, n int, writes bool, trials int) float64
 // zero writes; transaction duration grows via added (cache-hot) reads.
 // Expected: abort rate ~ duration / tick period, ~100% beyond 10M cycles.
 func Fig2(w io.Writer, o Options) {
-	cfg := arch.Haswell()
+	cfg := o.Machine()
 	t := &Table{
 		ID:     "fig2",
 		Title:  "RTM abort rate vs transaction duration (timer interrupts)",
@@ -169,15 +169,15 @@ func Table1(w io.Writer, o Options) {
 	}
 	addRows(t, runner.Map(o.Jobs, len(rows), func(i int) []string {
 		row := rows[i]
-		lockT := queueDrain(tm.Lock, row.threads, elems, row.localWork)
+		lockT := queueDrain(o, tm.Lock, row.threads, elems, row.localWork)
 		var noneS string
 		if row.threads == 1 {
-			noneS = f2(float64(queueDrain(tm.Seq, 1, elems, row.localWork)) / float64(lockT))
+			noneS = f2(float64(queueDrain(o, tm.Seq, 1, elems, row.localWork)) / float64(lockT))
 		} else {
 			noneS = "N/A"
 		}
-		casT := queueDrainCAS(row.threads, elems, row.localWork)
-		rtmT := queueDrain(tm.HTMBare, row.threads, elems, row.localWork)
+		casT := queueDrainCAS(o, row.threads, elems, row.localWork)
+		rtmT := queueDrain(o, tm.HTMBare, row.threads, elems, row.localWork)
 		return []string{row.name, noneS, "1.00",
 			f2(float64(casT) / float64(lockT)),
 			f2(float64(rtmT) / float64(lockT))}
@@ -189,8 +189,8 @@ func Table1(w io.Writer, o Options) {
 // queueDrain measures cycles to empty a queue of n elements under a tm
 // backend (Seq = unsynchronized, Lock = ticket-spinlock around the pop,
 // HTMBare = plain-retry RTM).
-func queueDrain(backend tm.Backend, threads, n int, localWork uint64) uint64 {
-	sys := tm.NewSystem(arch.Haswell(), backend)
+func queueDrain(o Options, backend tm.Backend, threads, n int, localWork uint64) uint64 {
+	sys := tm.NewSystem(o.Machine(), backend)
 	var q ds.Queue
 	sys.Run(1, 1, func(c *tm.Ctx) {
 		q = ds.NewQueue(c, c, n+1)
@@ -216,8 +216,8 @@ func queueDrain(backend tm.Backend, threads, n int, localWork uint64) uint64 {
 }
 
 // queueDrainCAS uses the lock-free CAS pop.
-func queueDrainCAS(threads, n int, localWork uint64) uint64 {
-	sys := tm.NewSystem(arch.Haswell(), tm.Seq)
+func queueDrainCAS(o Options, threads, n int, localWork uint64) uint64 {
+	sys := tm.NewSystem(o.Machine(), tm.Seq)
 	var q ds.Queue
 	sys.Run(1, 1, func(c *tm.Ctx) {
 		q = ds.NewQueue(c, c, n+1)

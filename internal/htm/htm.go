@@ -132,6 +132,20 @@ type Txn struct {
 
 	pending      bool // rolled back by a remote event; panic at next op
 	pendingAbort Abort
+
+	// Shard mode (see shard.go): speculative writes go to the redo
+	// buffer instead of eager undo logging; gen counts attempts so
+	// deferred probes from a dead attempt are skipped; the fns are
+	// pre-bound at Attach (parameters through the raw* fields) so the
+	// hot paths stay allocation-free.
+	redo      *lineset.Table[int64]
+	gen       uint32
+	commitFn  func()
+	rawLoadFn func()
+	rawRMWFn  func()
+	rawAddr   uint64
+	rawRet    int64
+	rawF      func(int64) int64
 }
 
 // Active reports whether a transaction is in flight.
@@ -152,6 +166,16 @@ type System struct {
 
 	txs []*Txn                // indexed by thread id
 	dir *lineset.Table[track] // active transactional lines
+
+	// stage holds per-thread counter staging sets for the shard parallel
+	// phase (nil under the classic engine); see shard.go.
+	stage []*perf.Set
+
+	// bwr maps line -> epoch ordinal of the boundary that last stored to
+	// it (commit write-back, raw store, RMW). Read-probes replaying later
+	// in the same boundary observed stale frozen state mid-epoch and must
+	// conflict-abort; see shard.go.
+	bwr *lineset.Table[uint64]
 
 	// AbortHook, if set, observes every abort (used by the tm layer to
 	// classify lock aborts).
@@ -197,6 +221,9 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 	tx.pending = false
 	tx.lastRead = noLine
 	tx.lastWrite = noLine
+	if p.Sharded() {
+		s.initShard(p, tx)
+	}
 	prev := p.PreOp
 	p.PreOp = func() {
 		if prev != nil {
@@ -219,7 +246,7 @@ func (s *System) preOp(tx *Txn) {
 		panic(tx.pendingAbort) //rtmvet:ignore abort delivery, runs once per abort not per operation
 	}
 	if s.tickBetween(tx.proc.Core(), tx.start, tx.proc.Cycles()) {
-		s.abortTx(tx, Abort{Status: StatusRetry, Cause: CauseInterrupt, ByThread: -1})
+		s.abortSelf(tx, Abort{Status: StatusRetry, Cause: CauseInterrupt, ByThread: -1})
 		tx.pending = false
 		panic(tx.pendingAbort) //rtmvet:ignore abort delivery, runs once per abort not per operation
 	}
@@ -282,7 +309,7 @@ func (s *System) Begin(tx *Txn) uint32 {
 	if tx.active {
 		tx.nest++
 		if tx.nest >= s.cfg.TSX.MaxNest {
-			s.abortTx(tx, Abort{Status: StatusNested, Cause: CauseNestDepth, ByThread: -1})
+			s.abortSelf(tx, Abort{Status: StatusNested, Cause: CauseNestDepth, ByThread: -1})
 			tx.pending = false
 			panic(tx.pendingAbort)
 		}
@@ -295,7 +322,7 @@ func (s *System) Begin(tx *Txn) uint32 {
 	tx.pending = false
 	p.AddCycles(s.cfg.TSX.XBeginCost)
 	p.AddInstr(1)
-	s.Counters.Inc(perf.RTMStart)
+	s.cntFor(p).Inc(perf.RTMStart)
 	return Started
 }
 
@@ -319,6 +346,9 @@ func (t *Txn) ensureActive(op string) {
 func (t *Txn) Load(addr uint64) int64 {
 	s := t.sys
 	t.ensureActive("Load")
+	if t.proc.ShardActive() {
+		return t.shardLoad(addr)
+	}
 	la := mem.LineAddr(addr)
 	if la != t.lastRead {
 		if t.readSet.Add(la) {
@@ -356,6 +386,10 @@ func (t *Txn) Load(addr uint64) int64 {
 func (t *Txn) Store(addr uint64, val int64) {
 	s := t.sys
 	t.ensureActive("Store")
+	if t.proc.ShardActive() {
+		t.shardStore(addr, val)
+		return
+	}
 	la := mem.LineAddr(addr)
 	self := t.proc.ID()
 	if la != t.lastWrite {
@@ -435,7 +469,7 @@ func (t *Txn) XAbort(code uint8) {
 	s := t.sys
 	t.ensureActive("XAbort")
 	t.proc.AddCycles(s.cfg.TSX.XAbortCost)
-	s.abortTx(t, Abort{
+	s.abortSelf(t, Abort{
 		Status:   StatusExplicit | uint32(code)<<24,
 		Cause:    CauseExplicit,
 		ByThread: -1,
@@ -451,6 +485,10 @@ func (t *Txn) Commit() {
 	t.ensureActive("Commit")
 	if t.nest > 0 {
 		t.nest--
+		return
+	}
+	if t.proc.ShardActive() {
+		t.proc.Exclusive(t.commitFn)
 		return
 	}
 	p := t.proc
@@ -489,21 +527,26 @@ func (s *System) abortTx(tx *Txn, a Abort) {
 	})
 	s.clearSets(tx)
 	tx.undo = tx.undo[:0]
+	if tx.redo != nil {
+		tx.redo.Clear() // shard mode: discard the unpublished redo buffer
+	}
+	tx.gen++
 	tx.active = false
 	tx.nest = 0
 	tx.pending = true
 	tx.pendingAbort = a
 	tx.proc.AddCycles(s.cfg.TSX.AbortCost)
 
-	s.countAbort(a)
+	s.countAbort(s.Counters, a)
 	if s.AbortHook != nil {
 		s.AbortHook(tx.proc.ID(), a)
 	}
 }
 
-// countAbort updates the Intel-style performance counters for one abort.
-func (s *System) countAbort(a Abort) {
-	c := s.Counters
+// countAbort updates the Intel-style performance counters for one abort
+// in c (the shared set, or a per-thread staging set in the shard
+// parallel phase).
+func (s *System) countAbort(c *perf.Set, a Abort) {
 	c.Inc(perf.RTMAborted)
 	c.Inc("htm:abort." + a.Cause.String())
 	switch a.Cause {
@@ -550,8 +593,30 @@ func (s *System) clearSets(tx *Txn) {
 }
 
 // onL1Evict implements write-set capacity aborts: a transactionally
-// written line leaving a core's L1 kills the writing transaction.
+// written line leaving a core's L1 kills the writing transaction. In the
+// shard parallel phase the frozen directory may not yet show this
+// epoch's claims, so the core's own transactions (the only possible
+// victims — write sets are L1-bound) are checked directly and rolled
+// back locally; they are same-shard state, so the scan is race-free.
 func (s *System) onL1Evict(core int, la uint64) {
+	if s.stage != nil {
+		// Shard mode: the write sets are the ground truth regardless of
+		// phase (the directory lags by up to an epoch mid-parallel and by
+		// unreplayed probes mid-boundary).
+		for tid := core; tid < len(s.txs); tid += s.cfg.Cores {
+			tx := s.txs[tid]
+			if tx == nil || !tx.active || !tx.writeSet.Contains(la) {
+				continue
+			}
+			a := Abort{Status: StatusCapacity, Cause: CauseWriteCapacity, ByThread: -1}
+			if tx.proc.ShardActive() {
+				tx.localAbort(a)
+			} else {
+				s.abortTx(tx, a)
+			}
+		}
+		return
+	}
 	e, ok := s.dir.Get(la)
 	if !ok || e.writer < 0 {
 		return
@@ -617,8 +682,26 @@ func (s *System) onL2Evict(core int, la uint64) {
 }
 
 // RawLoad is a non-transactional read with strong atomicity: it aborts any
-// transaction that has the line in its write set.
+// transaction that has the line in its write set. In the shard parallel
+// phase the probe consults the frozen directory: a visible writer claim
+// escalates to an exclusive boundary op (the kill must be cycle-ordered);
+// otherwise the load proceeds on the shard path. A writer claim deferred
+// within the current epoch is invisible until the boundary — the read
+// still returns the epoch-consistent (pre-publication) value, the writer
+// survives one epoch longer than the legacy engine would allow.
 func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
+	if p.ShardActive() {
+		if s.dir.Len() != 0 {
+			la := mem.LineAddr(addr)
+			if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
+				t := s.txs[p.ID()]
+				t.rawAddr = addr
+				p.Exclusive(t.rawLoadFn)
+				return t.rawRet
+			}
+		}
+		return p.Load(addr)
+	}
 	if s.dir.Len() != 0 {
 		la := mem.LineAddr(addr)
 		if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
@@ -635,8 +718,15 @@ func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
 }
 
 // RawStore is a non-transactional write with strong atomicity: it aborts
-// any transaction tracking the line.
+// any transaction tracking the line. In the shard parallel phase the
+// store rides the shard path unchanged: whether it is buffered or
+// parked, the engine's ShardRawStore hook kills the line's trackers in
+// cycle order at the boundary where the write lands.
 func (s *System) RawStore(p *sim.Proc, addr uint64, val int64) {
+	if p.ShardActive() {
+		p.Store(addr, val)
+		return
+	}
 	if s.dir.Len() != 0 {
 		s.killTrackers(p.ID(), mem.LineAddr(addr))
 	}
@@ -651,6 +741,16 @@ func (s *System) RawStore(p *sim.Proc, addr uint64, val int64) {
 // (store) timing, then applies f with no scheduler yield — the Peek/Poke
 // pair is the atomic step. It returns the old value.
 func (s *System) RawRMW(p *sim.Proc, addr uint64, f func(int64) int64) int64 {
+	if p.ShardActive() {
+		// The whole RMW is one exclusive boundary op: timing, tracker
+		// kills and the Peek/Poke pair must be a serial step.
+		t := s.txs[p.ID()]
+		t.rawAddr = addr
+		t.rawF = f
+		p.Exclusive(t.rawRMWFn)
+		t.rawF = nil
+		return t.rawRet
+	}
 	if s.pt != nil {
 		s.pt.Service(p, addr)
 	}

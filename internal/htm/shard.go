@@ -1,0 +1,372 @@
+// Shard-mode RTM: how the HTM model runs under the epoch-synchronized
+// sharded engine (internal/sim, shard.go).
+//
+// Between coherence boundaries the conflict directory, the backing store
+// and the performance counters are shared frozen state, so the legacy
+// eager-undo protocol (probe the directory and write memory in place at
+// every access) cannot run during the parallel phase. Shard mode keeps
+// the same requester-wins semantics by moving each piece to where it is
+// legal:
+//
+//   - Conflict probes become deferred operations (DefCustom) replayed at
+//     the boundary in (cycle, thread, sequence) order. A probe carries the
+//     transaction-attempt generation; probes left behind by an attempt
+//     that already aborted are skipped.
+//   - Speculative writes go to a private redo buffer instead of eager
+//     undo logging; the transaction's own reads overlay the buffer, and
+//     commit publishes it at the boundary. Nothing speculative is ever
+//     visible to other threads, which is what makes self-aborts local.
+//   - Commit parks as an exclusive boundary operation. Conflict kills
+//     that order before the commit point (earlier issue cycle) land
+//     first and mark the transaction pending, so the commit fails exactly
+//     when the serial replay says it must.
+//   - Self-inflicted aborts (timer tick, explicit xabort, nest overflow,
+//     own-core capacity eviction) roll back locally — clear the sets,
+//     discard the redo buffer, drop own speculative cache lines — and
+//     defer the directory-claim releases and footprint recording to the
+//     boundary at the abort cycle, ordered before any retry's probes.
+//   - Remote kills (a probe, raw store or capacity eviction replayed at
+//     a boundary) go through the legacy abortTx, which is serial there.
+//   - Non-transactional accesses keep strong atomicity: raw stores ride
+//     the engine's ShardRawStore hook (every buffered or parked plain
+//     store kills trackers of its line when it lands), and raw loads and
+//     RMWs escalate to exclusive boundary operations when the frozen
+//     directory shows a conflicting claim.
+//
+// Parallel-phase counter increments (xbegin, local aborts) go to
+// per-thread staging sets merged after the region; boundary-context
+// increments hit the shared set directly.
+package htm
+
+import (
+	"rtmlab/internal/lineset"
+	"rtmlab/internal/mem"
+	"rtmlab/internal/perf"
+	"rtmlab/internal/sim"
+)
+
+// DefCustom sub-kinds (sim.ShardDef.Op) used by the HTM layer.
+const (
+	opReadProbe uint8 = iota
+	opWriteProbe
+	opReadRelease
+	opWriteRelease
+	opSetsAbort
+)
+
+// initShard wires the shard-mode state for tx. Called from Attach when
+// the proc runs under the sharded engine.
+func (s *System) initShard(p *sim.Proc, tx *Txn) {
+	if s.stage == nil {
+		s.stage = make([]*perf.Set, s.cfg.MaxThreads())
+	}
+	tid := p.ID()
+	if s.stage[tid] == nil {
+		s.stage[tid] = perf.NewSet()
+	}
+	if tx.redo == nil {
+		tx.redo = lineset.NewTable[int64](64)
+	}
+	if s.bwr == nil {
+		s.bwr = lineset.NewTable[uint64](256)
+	} else {
+		s.bwr.Clear() // epoch ordinals restart with each region's engine
+	}
+	if tx.commitFn == nil {
+		tx.commitFn = func() { s.shardCommit(tx) }
+		tx.rawLoadFn = func() { s.shardRawLoadSlow(tx) }
+		tx.rawRMWFn = func() { s.shardRawRMWSlow(tx) }
+	}
+	eng := p.Engine()
+	eng.ShardApply = s.shardApply
+	eng.ShardRawStore = s.shardRawStore
+}
+
+// cntFor returns the counter set increments must go to from p's current
+// context: the per-thread staging set during the parallel phase, the
+// shared set everywhere else.
+//
+//rtm:hot
+func (s *System) cntFor(p *sim.Proc) *perf.Set {
+	if p.ShardActive() {
+		return s.stage[p.ID()]
+	}
+	return s.Counters
+}
+
+// MergeShardCounters folds the per-thread staged counters into Counters.
+// The tm layer calls it once per region, after the engine has quiesced.
+// Additions commute, so the fold order cannot affect the result.
+func (s *System) MergeShardCounters() {
+	for _, st := range s.stage {
+		if st != nil {
+			st.MergeInto(s.Counters)
+		}
+	}
+}
+
+// abortSelf aborts tx from its own thread's context: locally during the
+// shard parallel phase, through the serial path everywhere else. The
+// caller delivers the panic.
+func (s *System) abortSelf(tx *Txn, a Abort) {
+	if tx.proc.ShardActive() {
+		tx.localAbort(a)
+		return
+	}
+	s.abortTx(tx, a)
+}
+
+// shardLoad is Txn.Load during the parallel phase: the conflict probe is
+// deferred to the boundary (guarded by the attempt generation) and the
+// read value is overlaid with the transaction's own redo buffer.
+//
+//rtm:hot
+func (t *Txn) shardLoad(addr uint64) int64 {
+	la := mem.LineAddr(addr)
+	if la != t.lastRead {
+		if t.readSet.Add(la) {
+			t.proc.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadProbe, Gen: t.gen, Addr: la})
+		}
+		t.lastRead = la
+	}
+	v := t.proc.Load(addr) // may park; hooks can roll us back meanwhile
+	t.deliverPending()
+	if t.redo.Len() != 0 {
+		if rv, ok := t.redo.Get(addr); ok {
+			return rv
+		}
+	}
+	return v
+}
+
+// shardStore is Txn.Store during the parallel phase: probe deferred,
+// value buffered in the redo log (never published before commit).
+//
+//rtm:hot
+func (t *Txn) shardStore(addr uint64, val int64) {
+	la := mem.LineAddr(addr)
+	if la != t.lastWrite {
+		if t.writeSet.Add(la) {
+			t.proc.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opWriteProbe, Gen: t.gen, Addr: la})
+		}
+		t.lastWrite = la
+	}
+	// Timing first: if the store's own eviction side-effects abort this
+	// transaction, the speculative value must never land in the buffer.
+	t.proc.StoreTiming(addr)
+	t.deliverPending()
+	t.redo.Put(addr, val)
+}
+
+// shardCommit runs at an epoch boundary (inside the transaction thread's
+// exclusive commit op). A conflict kill replayed earlier in this
+// boundary — at a cycle before the commit point — has marked the
+// transaction pending; the commit then delivers the abort instead.
+func (s *System) shardCommit(t *Txn) {
+	if t.pending {
+		t.pending = false
+		panic(t.pendingAbort) //rtmvet:ignore abort delivery at the commit point, once per abort
+	}
+	p := t.proc
+	p.AddCycles(s.cfg.TSX.XEndCost)
+	p.AddInstr(1)
+	if rec := s.h.Rec; rec != nil {
+		rec.HTMSetsAtCommit(t.readSet.Len(), t.writeSet.Len())
+	}
+	ep := p.ShardEpoch()
+	t.redo.Range(func(addr uint64, v *int64) bool {
+		s.h.Poke(addr, *v)
+		s.bwr.Put(mem.LineAddr(addr), ep)
+		return true
+	})
+	t.redo.Clear()
+	s.clearSets(t)
+	t.active = false
+	t.nest = 0
+	t.gen++
+	s.Counters.Inc(perf.RTMCommit)
+}
+
+// localAbort rolls tx back during the parallel phase, on (or on behalf
+// of) its own shard. Nothing speculative has been published — writes
+// live in the redo buffer — so rollback is thread-local: drop the
+// speculative lines from the core's private caches, discard the buffer,
+// and defer the directory-claim releases and footprint recording to the
+// boundary at the abort cycle. The releases are unguarded (they must run
+// even though the attempt is dead) and order before any retry attempt's
+// probes, whose issue cycles are necessarily later.
+func (t *Txn) localAbort(a Abort) {
+	s := t.sys
+	p := t.proc
+	if s.h.Rec != nil {
+		p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opSetsAbort,
+			Addr: uint64(t.readSet.Len()), Val: int64(t.writeSet.Len())})
+	}
+	t.readSet.Range(func(la uint64) bool {
+		p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadRelease, Addr: la})
+		return true
+	})
+	core := p.Core()
+	t.writeSet.Range(func(la uint64) bool {
+		s.h.DropPrivate(core, la)
+		p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opWriteRelease, Addr: la})
+		return true
+	})
+	t.readSet.Clear()
+	t.writeSet.Clear()
+	t.lastRead = noLine
+	t.lastWrite = noLine
+	t.redo.Clear()
+	t.active = false
+	t.nest = 0
+	t.gen++
+	t.pending = true
+	t.pendingAbort = a
+	p.AddCycles(s.cfg.TSX.AbortCost)
+	s.countAbort(s.stage[p.ID()], a)
+	if s.AbortHook != nil {
+		s.AbortHook(p.ID(), a) // stages its own counters in shard mode
+	}
+}
+
+// shardApply replays the HTM layer's deferred operations at epoch
+// boundaries (installed as the engine's ShardApply hook).
+func (s *System) shardApply(p *sim.Proc, d *sim.ShardDef) bool {
+	if d.Kind != sim.DefCustom {
+		return false
+	}
+	self := p.ID()
+	t := s.txs[self]
+	switch d.Op {
+	case opReadProbe:
+		if t == nil || !t.active || t.gen != d.Gen {
+			return true // the issuing attempt is gone; its probe is moot
+		}
+		la := d.Addr
+		if ep, ok := s.bwr.Get(la); ok && ep == p.ShardEpoch() {
+			// The line was written earlier in this same boundary (a commit
+			// write-back or raw store at an earlier cycle), so the value
+			// this read returned mid-epoch — frozen pre-boundary state — is
+			// stale. The classic engine's read would have seen the new
+			// value; the only consistent outcome here is a conflict abort.
+			s.abortTx(t, Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: -1,
+			})
+			return true
+		}
+		e, fresh := s.dir.Upsert(la)
+		if fresh {
+			e.writer = -1
+		} else if e.writer >= 0 && int(e.writer) != self {
+			// Requester wins; the victim's rollback can move our entry
+			// (backward-shift compaction), so re-establish it.
+			s.abortTx(s.txs[e.writer], Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: self,
+			})
+			if e, fresh = s.dir.Upsert(la); fresh {
+				e.writer = -1
+			}
+		}
+		e.readers |= 1 << uint(self)
+	case opWriteProbe:
+		if t == nil || !t.active || t.gen != d.Gen {
+			return true
+		}
+		la := d.Addr
+		e, fresh := s.dir.Upsert(la)
+		if !fresh {
+			snap := *e
+			conflicted := false
+			if snap.writer >= 0 && int(snap.writer) != self {
+				conflicted = true
+				s.abortTx(s.txs[snap.writer], Abort{
+					Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+					ConflictLine: la, ByThread: self,
+				})
+			}
+			if readers := snap.readers &^ (1 << uint(self)); readers != 0 {
+				conflicted = true
+				for tid := 0; readers != 0; tid++ {
+					if readers&(1<<uint(tid)) != 0 {
+						readers &^= 1 << uint(tid)
+						s.abortTx(s.txs[tid], Abort{
+							Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+							ConflictLine: la, ByThread: self,
+						})
+					}
+				}
+			}
+			if conflicted {
+				e, _ = s.dir.Upsert(la)
+			}
+		}
+		e.writer = int8(self)
+	case opReadRelease:
+		if e := s.dir.Ref(d.Addr); e != nil {
+			e.readers &^= 1 << uint(self)
+			if e.readers == 0 && e.writer < 0 {
+				s.dir.Delete(d.Addr)
+			}
+		}
+	case opWriteRelease:
+		if e := s.dir.Ref(d.Addr); e != nil {
+			if int(e.writer) == self {
+				e.writer = -1
+			}
+			if e.readers == 0 && e.writer < 0 {
+				s.dir.Delete(d.Addr)
+			}
+		}
+		// Speculative lines are invalidated on abort (loss of locality);
+		// the private-cache half already happened at abort time.
+		s.h.Drop(p.Core(), d.Addr)
+	case opSetsAbort:
+		if rec := s.h.Rec; rec != nil {
+			rec.HTMSetsAtAbort(int(d.Addr), int(d.Val))
+		}
+	}
+	return true
+}
+
+// shardRawStore is the engine's ShardRawStore hook: every plain store
+// landing at a boundary (buffered or parked) kills the transactions
+// tracking its line — strong atomicity, replayed in cycle order.
+func (s *System) shardRawStore(p *sim.Proc, addr uint64) {
+	la := mem.LineAddr(addr)
+	if s.dir.Len() != 0 {
+		s.killTrackers(p.ID(), la)
+	}
+	s.bwr.Put(la, p.ShardEpoch())
+}
+
+// shardRawLoadSlow is RawLoad's exclusive boundary path, entered when
+// the frozen directory showed a foreign writer claim on the line.
+func (s *System) shardRawLoadSlow(t *Txn) {
+	p := t.proc
+	addr := t.rawAddr
+	la := mem.LineAddr(addr)
+	if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
+		s.abortTx(s.txs[e.writer], Abort{
+			Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+			ConflictLine: la, ByThread: p.ID(),
+		})
+	}
+	t.rawRet = p.Load(addr)
+}
+
+// shardRawRMWSlow is RawRMW's exclusive boundary path: timing, tracker
+// kills and the read-modify-write form one serial step.
+func (s *System) shardRawRMWSlow(t *Txn) {
+	p := t.proc
+	addr := t.rawAddr
+	la := mem.LineAddr(addr)
+	p.AddCycles(s.cfg.Lat.AtomicRMW)
+	p.StoreTiming(addr)
+	s.killTrackers(p.ID(), la)
+	old := s.h.Peek(addr)
+	s.h.Poke(addr, t.rawF(old))
+	s.bwr.Put(la, p.ShardEpoch())
+	t.rawRet = old
+}

@@ -57,9 +57,13 @@ type Ticket struct {
 func (l Ticket) nextAddr() uint64  { return l.Addr }
 func (l Ticket) ownerAddr() uint64 { return l.Addr + 8 }
 
+// incr is the ticket-take RMW as a static closure: a FetchAdd(m, addr, 1)
+// would capture the delta and allocate on every lock acquisition.
+var incr = func(v int64) int64 { return v + 1 }
+
 // Lock acquires the lock, spinning with Pause while waiting.
 func (l Ticket) Lock(m Mem) {
-	my := FetchAdd(m, l.nextAddr(), 1)
+	my := m.RMW(l.nextAddr(), incr)
 	for m.Load(l.ownerAddr()) != my {
 		m.Pause()
 	}

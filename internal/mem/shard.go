@@ -1,0 +1,174 @@
+package mem
+
+import "rtmlab/internal/obs"
+
+// Shard-mode support: the epoch-synchronized sharded engine (internal/sim)
+// runs simulated threads concurrently between coherence boundaries. During
+// the parallel phase of an epoch, shared state — the backing store, the L3
+// and its directory, peer cores' private caches — is frozen: it is read
+// concurrently and mutated only at epoch boundaries, on the coordinator,
+// in (cycle, thread, sequence) order. This file provides the pieces that
+// make the parallel phase race-free:
+//
+//   - View: a read-only window onto the backing store with private
+//     resolution memos (Memory's own memo fields are shared mutable state);
+//   - LocalLoad / LocalStore: classify an access as shard-local (served
+//     entirely by the requesting core's private L1/L2 with no directory
+//     change) and perform it, or report that it must be parked for the
+//     boundary. Per-thread counters go to a caller-owned Stats; recorder
+//     traffic is routed through a ShardSink because the Recorder is
+//     single-threaded.
+//
+// A core's private L1/L2 are single-owner state in shard mode: hyper-thread
+// siblings are always co-located in one shard and a shard runs its threads
+// one at a time, so the lookup/insert memo and LRU mutations below are
+// safe. The L3 is only ever peeked (peekLine has no memo or LRU effects).
+
+// ShardSink receives side effects of shard-local cache operations that
+// cannot touch shared state mid-epoch. Implemented by sim.Proc, which
+// buffers them for deterministic boundary replay.
+type ShardSink interface {
+	// DeferMemEvent buffers a recorder cache event (eviction,
+	// invalidation) on the given core's track.
+	DeferMemEvent(core int, kind obs.Kind, lineAddr uint64)
+}
+
+// View is a read-only window onto a Memory with private page-resolution
+// memos. Memory.Read mutates the shared last-page/last-directory memos, so
+// concurrent readers each need their own View. Reads of pages materialised
+// after the View was created are safe: directories and pages are never
+// removed, and in shard mode the backing store is only written at epoch
+// boundaries, when no View is being read.
+type View struct {
+	m        *Memory
+	lastDN   uint64
+	lastDir  *pageDir
+	lastPN   uint64
+	lastPage *[wordsPerPage]int64
+}
+
+// NewView returns a read-only view of m with its own memos.
+func (m *Memory) NewView() *View { return &View{m: m} }
+
+// Read returns the word stored at addr (0 for untouched pages).
+//
+//rtm:hot
+func (v *View) Read(addr uint64) int64 {
+	pn := addr >> pageShift
+	if p := v.lastPage; p != nil && pn == v.lastPN {
+		return p[wordIndex(addr)]
+	}
+	dn := pn >> dirShift
+	dir := v.lastDir
+	if dir == nil || dn != v.lastDN {
+		dir = v.m.dirs[dn]
+		if dir == nil {
+			return 0
+		}
+		v.lastDN, v.lastDir = dn, dir
+	}
+	p := dir[pn&dirMask]
+	if p == nil {
+		return 0
+	}
+	v.lastPN, v.lastPage = pn, p
+	return p[wordIndex(addr)]
+}
+
+// LocalLoad attempts the private-cache portion of a load by core: an L1
+// hit, or an L2 hit with an L1 fill. It returns the access latency and
+// true if the load completed without touching the L3/directory, or (0,
+// false) if the access must be parked for the epoch boundary. Counters go
+// to stats (merged into Hierarchy.Stats at region end); eviction hooks
+// fire inline (they are shard-safe by contract) and their recorder events
+// are buffered through sink.
+//
+//rtm:hot
+func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
+	la := LineAddr(addr)
+	if h.l1[core].lookup(la) != nil {
+		stats.L1Accesses++
+		stats.L1Hits++
+		return h.cfg.Lat.L1Hit, true
+	}
+	if h.cfg.Lat.PrefetchNextLine {
+		// The DCU next-line prefetcher touches the L3 on every L1 miss;
+		// resolve the whole access at the boundary.
+		return 0, false
+	}
+	if h.l2[core].lookup(la) != nil {
+		stats.L1Accesses++
+		stats.L2Accesses++
+		stats.L2Hits++
+		h.localFillL1(core, la, stats, sink)
+		return h.cfg.Lat.L2Hit, true
+	}
+	return 0, false
+}
+
+// LocalStore attempts the private portion of a store by core: the line
+// must be present in L1 or L2 and already exclusively owned (directory
+// owner == core with no other sharers), so no coherence action is needed.
+// Returns (latency, true) on success or (0, false) if the store must be
+// parked. The caller is responsible for buffering the value (the backing
+// store is frozen mid-epoch).
+//
+//rtm:hot
+func (h *Hierarchy) LocalStore(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
+	la := LineAddr(addr)
+	l1 := h.l1[core].lookup(la) != nil
+	if !l1 && h.l2[core].lookup(la) == nil {
+		return 0, false
+	}
+	dir := h.l3.peekLine(la)
+	if dir == nil || int(dir.owner) != core || dir.sharers != bit(core) {
+		return 0, false // needs a directory transition: park it
+	}
+	stats.L1Accesses++
+	if l1 {
+		stats.L1Hits++
+		return h.cfg.Lat.L1Hit, true
+	}
+	stats.L2Accesses++
+	stats.L2Hits++
+	h.localFillL1(core, la, stats, sink)
+	return h.cfg.Lat.L2Hit, true
+}
+
+// localFillL1 is fillL1 for the shard-local path: stats go to the
+// per-thread staging struct and recorder traffic through the sink.
+func (h *Hierarchy) localFillL1(core int, la uint64, stats *Stats, sink ShardSink) {
+	victim, evicted, _ := h.l1[core].insert(la)
+	if !evicted {
+		return
+	}
+	stats.L1Evictions++
+	if h.Rec != nil && sink != nil {
+		sink.DeferMemEvent(core, obs.KL1Evict, victim)
+	}
+	if h.Hooks.OnL1Evict != nil {
+		h.Hooks.OnL1Evict(core, victim)
+	}
+}
+
+// DropPrivate silently removes la from core's private L1/L2 without
+// touching the L3 directory — the private half of Drop, legal mid-epoch
+// because a core's private caches are single-owner state in shard mode.
+// The HTM layer uses it when a local abort invalidates speculative
+// lines; the directory-owner clear is deferred to the boundary.
+func (h *Hierarchy) DropPrivate(core int, la uint64) {
+	h.l1[core].drop(la)
+	h.l2[core].drop(la)
+}
+
+// DirOwner returns the directory owner core of la (-1 if unowned or
+// absent) without any LRU or memo effects. Safe for concurrent use while
+// the directory is frozen mid-epoch.
+//
+//rtm:hot
+func (h *Hierarchy) DirOwner(la uint64) int {
+	if dir := h.l3.peekLine(la); dir != nil {
+		return int(dir.owner)
+	}
+	return -1
+}

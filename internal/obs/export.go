@@ -129,29 +129,85 @@ func (r *Recorder) Summary() RecorderJSON {
 	return out
 }
 
+// TimingJSON is one recorder's entry in the timing sidecar: host
+// wall-clock spent simulating that point and the resulting simulation
+// rate. Host-side measurements are not deterministic, so they live in a
+// separate document and are excluded from the byte-identity guarantee.
+type TimingJSON struct {
+	Label           string  `json:"label"`
+	WallMS          float64 `json:"wall_ms"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+}
+
+// TimingDoc is one experiment's timing sidecar document.
+type TimingDoc struct {
+	Schema     string       `json:"schema"`
+	Experiment string       `json:"experiment"`
+	Points     []TimingJSON `json:"points"`
+}
+
+// expGroup is one experiment scope's recorders in merge order.
+type expGroup struct {
+	name string
+	recs []*Recorder
+}
+
+func (c *Collector) groups() []expGroup {
+	var gs []expGroup
+	byExp := map[int]int{} // exp index -> gs index
+	for _, r := range c.Recorders() {
+		gi, ok := byExp[r.exp]
+		if !ok {
+			gi = len(gs)
+			byExp[r.exp] = gi
+			gs = append(gs, expGroup{name: c.ExperimentID(r.exp)})
+		}
+		gs[gi].recs = append(gs[gi].recs, r)
+	}
+	return gs
+}
+
 // metricsByExperiment groups recorders into per-experiment documents in
 // scope order.
 func (c *Collector) metricsByExperiment() []MetricsJSON {
 	var docs []MetricsJSON
-	byExp := map[int]int{} // exp index -> docs index
-	for _, r := range c.Recorders() {
-		di, ok := byExp[r.exp]
-		if !ok {
-			di = len(docs)
-			byExp[r.exp] = di
-			docs = append(docs, MetricsJSON{
-				Schema:     "rtmlab-metrics/v1",
-				Experiment: c.ExperimentID(r.exp),
-			})
+	for _, g := range c.groups() {
+		doc := MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: g.name}
+		for _, r := range g.recs {
+			doc.Recorders = append(doc.Recorders, r.Summary())
 		}
-		docs[di].Recorders = append(docs[di].Recorders, r.Summary())
+		docs = append(docs, doc)
 	}
 	return docs
 }
 
+// timing builds a group's timing document; Points is empty when no
+// recorder measured wall time.
+func (g expGroup) timing() TimingDoc {
+	doc := TimingDoc{Schema: "rtmlab-timing/v1", Experiment: g.name}
+	for _, r := range g.recs {
+		if r.wallNS <= 0 {
+			continue
+		}
+		e := TimingJSON{
+			Label:           r.label,
+			WallMS:          float64(r.wallNS) / 1e6,
+			SimCycles:       r.base,
+			SimCyclesPerSec: float64(r.base) / (float64(r.wallNS) / 1e9),
+		}
+		doc.Points = append(doc.Points, e)
+	}
+	return doc
+}
+
 // WriteMetrics writes one <experiment>.json sidecar and one
-// <experiment>.txt summary per experiment scope into dir. A repeated
-// experiment id gets a numeric suffix so no scope clobbers another.
+// <experiment>.txt summary per experiment scope into dir, plus — when
+// wall time was measured — an <experiment>.timing.json with per-point
+// host wall-clock and simulated-cycles/sec. The timing sidecar is the
+// only non-deterministic output; the .json and .txt stay byte-identical
+// at any -j/-shards. A repeated experiment id gets a numeric suffix so
+// no scope clobbers another.
 func (c *Collector) WriteMetrics(dir string) error {
 	if c == nil {
 		return nil
@@ -160,7 +216,11 @@ func (c *Collector) WriteMetrics(dir string) error {
 		return err
 	}
 	seen := map[string]int{}
-	for _, doc := range c.metricsByExperiment() {
+	for _, g := range c.groups() {
+		doc := MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: g.name}
+		for _, r := range g.recs {
+			doc.Recorders = append(doc.Recorders, r.Summary())
+		}
 		name := doc.Experiment
 		if name == "" {
 			name = "run"
@@ -183,6 +243,15 @@ func (c *Collector) WriteMetrics(dir string) error {
 		writeSummaryDoc(f, doc)
 		if err := f.Close(); err != nil {
 			return err
+		}
+		if td := g.timing(); len(td.Points) > 0 {
+			data, err := json.MarshalIndent(td, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(dir, name+".timing.json"), append(data, '\n'), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -27,7 +27,10 @@
 // keyed, not ordered by completion.
 package obs
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Cause is the unified abort-cause taxonomy across the HTM and STM
 // layers. The string forms match the per-backend counter spellings
@@ -229,6 +232,7 @@ type Recorder struct {
 	threads []*stream
 	cores   []*stream
 
+	siteMu    sync.Mutex // guards interning only; see SiteID
 	siteNames []string
 	siteIdx   map[string]int32
 	sites     []*siteStats
@@ -247,6 +251,13 @@ type Recorder struct {
 	wasted   [NumCauses]uint64 // aborted-attempt cycles by cause
 	counters map[string]uint64
 	energy   []EnergySample
+
+	// wallNS is host wall-clock time spent simulating the recorded
+	// regions. Unlike every other field it measures the host, not the
+	// simulated machine, so it is NOT deterministic; it is exported in a
+	// separate timing sidecar and excluded from the byte-identity
+	// guarantee on traces and metrics.
+	wallNS int64
 }
 
 // NewRecorder returns an enabled recorder whose tracks keep at most
@@ -273,6 +284,13 @@ func (r *Recorder) AdvanceBase(regionCycles uint64) { r.base += regionCycles }
 // the last finished region's end).
 func (r *Recorder) Base() uint64 { return r.base }
 
+// AddWall accumulates host wall-clock nanoseconds spent simulating the
+// recorded regions (see the wallNS field note on determinism).
+func (r *Recorder) AddWall(ns int64) { r.wallNS += ns }
+
+// WallNS returns the accumulated host wall-clock nanoseconds.
+func (r *Recorder) WallNS() int64 { return r.wallNS }
+
 func grow(tracks *[]*stream, i, limit int) *stream {
 	for len(*tracks) <= i {
 		*tracks = append(*tracks, &stream{limit: limit})
@@ -288,12 +306,20 @@ func (r *Recorder) pushThread(tid int, e Event) {
 	r.thread(tid).push(e)
 }
 
-// SiteID interns an atomic-site name, returning its stable id (-1 for
-// the empty name).
+// SiteID interns an atomic-site name, returning its id (-1 for the empty
+// name). Safe for concurrent use: shard workers intern during the
+// parallel phase, where taking a simulated-time path (an exclusive
+// boundary op) would make the simulation depend on whether a recorder is
+// attached. Interning order — and therefore id assignment — may vary
+// with host scheduling, but ids are internal handles: every export
+// resolves them through SiteName or the name-sorted site table, so
+// recorded output remains byte-identical.
 func (r *Recorder) SiteID(name string) int32 {
 	if name == "" {
 		return -1
 	}
+	r.siteMu.Lock()
+	defer r.siteMu.Unlock()
 	if id, ok := r.siteIdx[name]; ok {
 		return id
 	}

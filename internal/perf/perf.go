@@ -51,6 +51,15 @@ func (s *Set) Sub(prev map[string]uint64) map[string]uint64 {
 	return out
 }
 
+// MergeInto adds every counter into dst and empties s. Additions
+// commute, so map iteration order cannot affect the merged result.
+func (s *Set) MergeInto(dst *Set) {
+	for k, v := range s.m {
+		dst.m[k] += v
+		delete(s.m, k)
+	}
+}
+
 // Reset zeroes every counter.
 func (s *Set) Reset() {
 	for k := range s.m {

@@ -38,6 +38,10 @@ type Proc struct {
 	eng   *Engine
 	rsm   chan struct{}
 
+	// sh is the per-thread state of the epoch-synchronized sharded
+	// engine (shard.go); nil under the classic min-clock engine.
+	sh *procShard
+
 	// Rng is the thread's deterministic PRNG, seeded from the run seed.
 	Rng *rng.Rand
 
@@ -92,6 +96,9 @@ func (p *Proc) AddWork(n uint64) {
 
 // Load performs a timed coherent read of the word at addr.
 func (p *Proc) Load(addr uint64) int64 {
+	if p.ShardActive() {
+		return p.shardLoad(addr)
+	}
 	p.preOp()
 	v, cycles := p.eng.H.Load(p.core, addr)
 	p.instr++
@@ -102,6 +109,10 @@ func (p *Proc) Load(addr uint64) int64 {
 
 // Store performs a timed coherent write of the word at addr.
 func (p *Proc) Store(addr uint64, val int64) {
+	if p.ShardActive() {
+		p.shardStore(addr, val)
+		return
+	}
 	p.preOp()
 	cycles := p.eng.H.Store(p.core, addr, val)
 	p.instr++
@@ -115,6 +126,9 @@ func (p *Proc) Store(addr uint64, val int64) {
 // lock-array reads, which real hardware issues in parallel with the data
 // access.
 func (p *Proc) LoadOverlapped(addr uint64) int64 {
+	if p.ShardActive() {
+		return p.shardLoadOverlapped(addr)
+	}
 	p.preOp()
 	v, _ := p.eng.H.Load(p.core, addr)
 	p.instr++
@@ -126,6 +140,10 @@ func (p *Proc) LoadOverlapped(addr uint64) int64 {
 // StoreTiming performs the timing and coherence work of a store without
 // writing a value (see mem.Hierarchy.StoreTiming).
 func (p *Proc) StoreTiming(addr uint64) {
+	if p.ShardActive() {
+		p.shardStoreTiming(addr)
+		return
+	}
 	p.preOp()
 	cycles := p.eng.H.StoreTiming(p.core, addr)
 	p.instr++
@@ -135,6 +153,10 @@ func (p *Proc) StoreTiming(addr uint64) {
 
 // Touch performs the timing work of a read without returning data.
 func (p *Proc) Touch(addr uint64) {
+	if p.ShardActive() {
+		p.shardTouch(addr)
+		return
+	}
 	p.preOp()
 	cycles := p.eng.H.Touch(p.core, addr)
 	p.instr++
@@ -145,6 +167,10 @@ func (p *Proc) Touch(addr uint64) {
 // Work models n cycles of core-local computation (n instructions).
 func (p *Proc) Work(n uint64) {
 	if n == 0 {
+		return
+	}
+	if p.ShardActive() {
+		p.shardWork(n)
 		return
 	}
 	p.preOp()
@@ -163,6 +189,10 @@ func (p *Proc) AddInstr(n uint64) { p.instr += n }
 
 // Pause models a PAUSE spin-wait hint.
 func (p *Proc) Pause() {
+	if p.ShardActive() {
+		p.shardPause()
+		return
+	}
 	p.preOp()
 	p.instr++
 	p.clock += p.scale(PauseCycles)
@@ -255,8 +285,28 @@ type Engine struct {
 	htNum    uint64
 	htDen    uint64
 
-	// switches counts scheduler handoffs (yield slow path + blocks).
+	// switches counts scheduler handoffs (yield slow path + blocks;
+	// in shard mode: thread parks).
 	switches uint64
+
+	// shardParallel is true while shard workers execute the parallel
+	// phase of an epoch (shared state frozen). It is toggled only by the
+	// coordinator while every worker is quiescent, so reads from worker
+	// goroutines are ordered by the wake/done channels.
+	shardParallel bool
+
+	// ShardApply, if non-nil, receives DefCustom deferred operations at
+	// shard epoch boundaries. The HTM layer installs it to replay
+	// conflict-directory probes and abort cleanups. Return true if the
+	// operation was handled.
+	ShardApply func(p *Proc, d *ShardDef) bool
+
+	// ShardRawStore, if non-nil, runs immediately before a plain
+	// (non-transactional) store lands at a shard epoch boundary — both
+	// the buffered (DefStore) and parked store paths. The HTM layer
+	// installs it to kill transactions tracking the line (strong
+	// atomicity).
+	ShardRawStore func(p *Proc, addr uint64)
 }
 
 // Result summarises a parallel region.
@@ -286,13 +336,14 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 	if n < 1 || n > cfg.MaxThreads() {
 		panic(fmt.Sprintf("sim: thread count %d out of range [1,%d]", n, cfg.MaxThreads()))
 	}
+	sharded := cfg.Shard.Shards != 0
 	e := &Engine{
 		Cfg:       cfg,
 		H:         h,
 		procs:     make([]*Proc, 0, n),
 		heap:      make([]*Proc, 0, n),
 		remaining: n,
-		single:    n == 1,
+		single:    n == 1 && !sharded,
 		coreLive:  make([]int, cfg.Cores),
 		htNum:     31,
 		htDen:     20,
@@ -315,11 +366,25 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 		}
 		e.procs = append(e.procs, p)
 		e.coreLive[p.core]++
+	}
+	// Shard state is attached before setup so the TM layers can install
+	// their shard-mode hooks when they see p.Sharded().
+	var se *shardEngine
+	if sharded {
+		se = newShardEngine(e)
+	}
+	for _, p := range e.procs {
 		if setup != nil {
 			setup(p)
 		}
 	}
-	if e.single {
+	if se != nil {
+		se.run(body)
+		for _, p := range e.procs {
+			h.Stats = h.Stats.Add(p.sh.stats)
+			e.switches += p.sh.parks
+		}
+	} else if e.single {
 		// Single-threaded regions need no scheduling: run the body inline
 		// on the caller's goroutine, skipping the channels and handoffs
 		// entirely. Every op's yield takes the e.single fast path.
@@ -373,6 +438,9 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 		rec.Add("mem:writebacks", d.Writebacks)
 		rec.Add("sim:switches", e.switches)
 		rec.Add("sim:regions", 1)
+		if se != nil {
+			rec.Add("sim:epochs", se.epochs)
+		}
 		// Thread clocks restart at zero every region; rebase the
 		// recorder's timeline so the next region's events follow this one.
 		rec.AdvanceBase(res.Cycles)

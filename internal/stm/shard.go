@@ -1,0 +1,77 @@
+// Shard-mode TinySTM: how the STM runs under the epoch-synchronized
+// sharded engine (internal/sim, shard.go).
+//
+// TinySTM's metadata lives in simulated memory, so most of the protocol
+// already works against the frozen epoch view: reads sample lock words
+// and data from the last boundary's state, which is exactly the
+// epoch-consistency the sharded engine defines. Three pieces need care:
+//
+//   - Lock acquisition (encounter-time CAS) and the commit sequence
+//     (clock fetch-and-increment, validation, write-back, lock release)
+//     rely on Peek+Store atomicity. They run as exclusive boundary
+//     operations — the pre-bound fns below execute the unmodified legacy
+//     sequences serially at the thread's park cycle, so the cycle costs
+//     match the classic engine exactly (the differential tests depend on
+//     this).
+//   - Abort releases encounter-time locks with plain stores; those are
+//     buffered and land at the boundary in cycle order, before any retry
+//     attempt's acquisitions (whose issue cycles are later).
+//   - Counters and recorder traffic from the parallel phase go to
+//     per-thread staging sets / deferred recorder ops; boundary-context
+//     increments hit the shared set directly.
+package stm
+
+import (
+	"rtmlab/internal/perf"
+	"rtmlab/internal/sim"
+)
+
+// initShard wires the shard-mode state for tx (called from Attach when
+// the proc runs under the sharded engine): per-thread counter staging
+// and the pre-bound exclusive fns (parameters pass through sAddr/sVer so
+// the hot paths stay allocation-free).
+func (s *System) initShard(p *sim.Proc, tx *Txn) {
+	if s.stage == nil {
+		s.stage = make([]*perf.Set, s.cfg.MaxThreads())
+	}
+	tid := p.ID()
+	if s.stage[tid] == nil {
+		s.stage[tid] = perf.NewSet()
+	}
+	tx.acquireFn = func() { tx.acquireSlow() }
+	tx.commitFn = func() { tx.commitSlow() }
+}
+
+// cnt returns the counter set for t's current context: per-thread
+// staging during the parallel phase, the shared set everywhere else.
+//
+//rtm:hot
+func (t *Txn) cnt() *perf.Set {
+	if t.proc.ShardActive() {
+		return t.sys.stage[t.proc.ID()]
+	}
+	return t.sys.Counters
+}
+
+// recAdd emits Recorder.Add(name, n) from any context: deferred during
+// the parallel phase (the recorder is single-threaded), direct otherwise.
+func (t *Txn) recAdd(name string, n uint64) {
+	if t.sys.h.Rec == nil {
+		return
+	}
+	if t.proc.ShardActive() {
+		t.proc.DeferCounter(name, n)
+		return
+	}
+	t.sys.h.Rec.Add(name, n)
+}
+
+// MergeShardCounters folds the per-thread staged counters into Counters.
+// The tm layer calls it once per region, after the engine has quiesced.
+func (s *System) MergeShardCounters() {
+	for _, st := range s.stage {
+		if st != nil {
+			st.MergeInto(s.Counters)
+		}
+	}
+}

@@ -111,6 +111,10 @@ type System struct {
 
 	// MaxBackoff caps the exponential backoff in cycles.
 	MaxBackoff uint64
+
+	// stage holds per-thread counter staging sets for the shard parallel
+	// phase (nil under the classic engine); see shard.go.
+	stage []*perf.Set
 }
 
 // NewSystem builds a TinySTM over the hierarchy. pt may be nil.
@@ -156,16 +160,27 @@ type Txn struct {
 	owned    []ownedEntry
 	ownedIdx *lineset.Table[int32] // lock addr -> index into owned
 	attempts int                   // consecutive aborts of the current atomic block
+
+	// Shard mode (see shard.go): pre-bound exclusive fns for lock
+	// acquisition and commit; sAddr/sVer pass parameters and results.
+	acquireFn func()
+	commitFn  func()
+	sAddr     uint64
+	sVer      uint64
 }
 
 // Attach returns a fresh transaction descriptor for a proc.
 func (s *System) Attach(p *sim.Proc) *Txn {
-	return &Txn{
+	tx := &Txn{
 		sys:      s,
 		proc:     p,
 		writeIdx: lineset.NewTable[int32](256),
 		ownedIdx: lineset.NewTable[int32](256),
 	}
+	if p.Sharded() {
+		s.initShard(p, tx)
+	}
+	return tx
 }
 
 // Active reports whether a transaction is in flight.
@@ -189,10 +204,12 @@ func (t *Txn) Begin() {
 	t.rv = uint64(t.proc.Load(s.clockAddr)) >> 1
 	t.active = true
 	t.reads = t.reads[:0]
-	s.Counters.Inc("stm:begin")
+	t.cnt().Inc("stm:begin")
 }
 
-// abort releases encounter-time locks, applies backoff and unwinds.
+// abort releases encounter-time locks, applies backoff and unwinds. In
+// the shard parallel phase the lock-release stores are buffered and land
+// at the boundary in cycle order — before any retry's acquisitions.
 func (t *Txn) abort(reason Reason) {
 	s := t.sys
 	for _, oe := range t.owned {
@@ -201,8 +218,9 @@ func (t *Txn) abort(reason Reason) {
 	t.clearSets()
 	t.active = false
 	t.attempts++
-	s.Counters.Inc("stm:abort")
-	s.Counters.Inc("stm:abort." + reason.String())
+	c := t.cnt()
+	c.Inc("stm:abort")
+	c.Inc("stm:abort." + reason.String())
 	// Bounded exponential backoff with deterministic jitter.
 	shift := t.attempts
 	if shift > 12 {
@@ -214,7 +232,15 @@ func (t *Txn) abort(reason Reason) {
 	}
 	backoff := uint64(t.proc.Rng.Intn(int(window))) + 8
 	if rec := s.h.Rec; rec != nil {
-		rec.STMBackoff(t.proc.ID(), t.proc.Cycles(), backoff, reason.ObsCause())
+		if t.proc.ShardActive() {
+			// Replayed via Recorder.STMBackoff at the boundary.
+			t.proc.DeferEvent(obs.Event{
+				Cycle: t.proc.Cycles(), Arg: backoff,
+				Kind: obs.KBackoff, Cause: reason.ObsCause(),
+			})
+		} else {
+			rec.STMBackoff(t.proc.ID(), t.proc.Cycles(), backoff, reason.ObsCause())
+		}
 	}
 	t.proc.AddCycles(backoff)
 	panic(Abort{Reason: reason})
@@ -227,7 +253,7 @@ func (t *Txn) validate() bool {
 	s := t.sys
 	t.proc.AddCycles(uint64(len(t.reads)) * s.cfg.STM.ValidatePerRead)
 	for _, re := range t.reads {
-		w := s.h.Peek(re.lockAddr)
+		w := t.proc.PeekShared(re.lockAddr)
 		if isLocked(w) {
 			if !t.ownedIdx.Contains(re.lockAddr) {
 				t.noteValidationFail()
@@ -244,9 +270,7 @@ func (t *Txn) validate() bool {
 }
 
 func (t *Txn) noteValidationFail() {
-	if rec := t.sys.h.Rec; rec != nil {
-		rec.Add("stm:validation.fail", 1)
-	}
+	t.recAdd("stm:validation.fail", 1)
 }
 
 // extend tries to move the snapshot forward (time-based design): reread
@@ -258,10 +282,8 @@ func (t *Txn) extend() bool {
 		return false
 	}
 	t.rv = now
-	s.Counters.Inc("stm:extend")
-	if rec := s.h.Rec; rec != nil {
-		rec.Add("stm:extend", 1)
-	}
+	t.cnt().Inc("stm:extend")
+	t.recAdd("stm:extend", 1)
 	return true
 }
 
@@ -305,7 +327,7 @@ func (t *Txn) Load(addr uint64) int64 {
 		}
 		v := t.proc.Load(addr)
 		// Revalidate: the lock must be unchanged across the data read.
-		if s.h.Peek(lockAddr) != w {
+		if t.proc.PeekShared(lockAddr) != w {
 			continue
 		}
 		t.reads = append(t.reads, readEntry{lockAddr: lockAddr, version: ver})
@@ -333,13 +355,32 @@ func (t *Txn) Store(addr uint64, val int64) {
 		t.putWrite(addr, val)
 		return
 	}
-	var ver uint64
+	t.sAddr = lockAddr
+	if t.proc.ShardActive() {
+		// The CAS needs Peek+Store atomicity against the live lock word;
+		// park it as an exclusive boundary op (acquireSlow, unchanged).
+		t.proc.Exclusive(t.acquireFn)
+	} else {
+		t.acquireSlow()
+	}
+	t.ownedIdx.Put(lockAddr, int32(len(t.owned)))
+	t.owned = append(t.owned, ownedEntry{lockAddr: lockAddr, version: t.sVer})
+	t.putWrite(addr, val)
+}
+
+// acquireSlow runs the encounter-time lock acquisition for the lock word
+// in t.sAddr, leaving the pre-acquisition version in t.sVer. Under the
+// sharded engine it executes serially at an epoch boundary; the sequence
+// (and its cycle charges) is identical either way.
+func (t *Txn) acquireSlow() {
+	s := t.sys
+	lockAddr := t.sAddr
 	for {
 		w := t.proc.Load(lockAddr)
 		if isLocked(w) {
 			t.abort(ReasonLocked) // encounter-time conflict
 		}
-		ver = wordVersion(w)
+		ver := wordVersion(w)
 		if ver > t.rv && !t.extend() {
 			t.abort(ReasonValidation)
 		}
@@ -350,11 +391,9 @@ func (t *Txn) Store(addr uint64, val int64) {
 			continue
 		}
 		t.proc.Store(lockAddr, lockedWord(t.proc.ID()))
-		break
+		t.sVer = ver
+		return
 	}
-	t.ownedIdx.Put(lockAddr, int32(len(t.owned)))
-	t.owned = append(t.owned, ownedEntry{lockAddr: lockAddr, version: ver})
-	t.putWrite(addr, val)
 }
 
 // putWrite appends addr/val to the ordered write log and indexes it.
@@ -377,9 +416,23 @@ func (t *Txn) Commit() {
 	if len(t.writes) == 0 {
 		// Read-only fast path: snapshot is already consistent.
 		t.finish()
-		s.Counters.Inc("stm:commit")
+		t.cnt().Inc("stm:commit")
 		return
 	}
+	if t.proc.ShardActive() {
+		// Clock increment, validation, write-back and lock release form
+		// one atomic sequence; park it as an exclusive boundary op.
+		t.proc.Exclusive(t.commitFn)
+		return
+	}
+	t.commitSlow()
+}
+
+// commitSlow is the writing-commit sequence. Under the sharded engine it
+// executes serially at an epoch boundary; the sequence (and its cycle
+// charges) is identical either way.
+func (t *Txn) commitSlow() {
+	s := t.sys
 	// Increment the global clock (timed load+store modelling the
 	// contended fetch-and-increment; Peek+Store is the atomic step).
 	var cv uint64

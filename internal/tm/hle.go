@@ -31,7 +31,7 @@ func (c *Ctx) atomicHLE(body func(t Tx)) {
 		c.obsCommit(0)
 		return
 	}
-	c.sys.Counters.Inc("tm:hle.fallback")
+	c.cnt().Inc("tm:hle.fallback")
 	c.emit(trace.KindFallback, "hle")
 	c.obsInstant(obs.KTxFallback)
 	// Elision failed: take the lock for real. Waiting for the lock to be

@@ -53,7 +53,7 @@ func (c *Ctx) atomicHybrid(body func(t Tx)) {
 		}
 	}
 	// Software fallback: announce, run under TinySTM, retire.
-	s.Counters.Inc("tm:hybrid.fallback")
+	c.cnt().Inc("tm:hybrid.fallback")
 	c.emit(trace.KindFallback, "stm")
 	c.obsInstant(obs.KTxFallback)
 	c.RMW(stmActiveAddr, func(v int64) int64 { return v + 1 })

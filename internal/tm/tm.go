@@ -22,6 +22,7 @@ package tm
 
 import (
 	"fmt"
+	"time"
 
 	"rtmlab/internal/alloc"
 	"rtmlab/internal/arch"
@@ -120,6 +121,40 @@ type System struct {
 	// the memory hierarchy (and through it the htm/stm/sim layers) sees
 	// the same recorder.
 	Obs *obs.Recorder
+
+	// stage holds per-thread staging sets for Counters increments made
+	// during the shard parallel phase (nil under the classic engine);
+	// Run folds them into Counters after each region.
+	stage []*perf.Set
+}
+
+// cnt returns the counter set for tid: the per-thread staging set under
+// the sharded engine (increments can come from concurrent shard workers,
+// e.g. the HTM abort hook firing on a local abort), the shared set
+// otherwise.
+//
+//rtm:hot
+func (s *System) cnt(tid int) *perf.Set {
+	if s.stage != nil {
+		return s.stage[tid]
+	}
+	return s.Counters
+}
+
+// mergeStaged folds every layer's per-thread staged counters into the
+// shared sets. Called once per region, after the engine has quiesced.
+func (s *System) mergeStaged() {
+	for _, st := range s.stage {
+		if st != nil {
+			st.MergeInto(s.Counters)
+		}
+	}
+	if s.HTM != nil {
+		s.HTM.MergeShardCounters()
+	}
+	if s.STM != nil {
+		s.STM.MergeShardCounters()
+	}
 }
 
 // SetRecorder attaches a flight recorder to the system and its simulated
@@ -156,20 +191,28 @@ func NewSystem(cfg *arch.Config, backend Backend) *System {
 		s.HTM = htm.NewSystem(cfg, h, pt)
 		lockLine := mem.LineAddr(serialLockAddr)
 		s.HTM.AbortHook = func(tid int, a htm.Abort) {
+			cnt := s.cnt(tid)
 			switch {
 			case a.Cause == htm.CauseConflict && a.ConflictLine == lockLine:
-				s.Counters.Inc("tm:abort.lock")
-				s.Counters.Inc("tm:abort.lock.conflict")
+				cnt.Inc("tm:abort.lock")
+				cnt.Inc("tm:abort.lock.conflict")
 			case a.Cause == htm.CauseExplicit && htm.ExplicitCode(a.Status) == xabortLockHeld:
-				s.Counters.Inc("tm:abort.lock")
-				s.Counters.Inc("tm:abort.lock.explicit")
+				cnt.Inc("tm:abort.lock")
+				cnt.Inc("tm:abort.lock.explicit")
 			case a.Cause == htm.CauseConflict && a.ConflictLine == hleLockLine(),
 				a.Cause == htm.CauseExplicit && htm.ExplicitCode(a.Status) == xabortHLEHeld:
-				s.Counters.Inc("tm:abort.hlelock")
+				cnt.Inc("tm:abort.hlelock")
 			}
 		}
 	case STM:
 		s.STM = stm.NewSystem(cfg, h, pt)
+	}
+	if cfg.Shard.Shards != 0 {
+		// Shard mode pre-touches fresh chunks at refill time: demand
+		// page-fault servicing mutates shared page-table state, which the
+		// parallel phase of an epoch must not do (the shard-local access
+		// paths skip the fault check on the strength of this).
+		s.Heap.PreTouch = true
 	}
 	return s
 }
@@ -192,9 +235,26 @@ func (s *System) Aborts() uint64 {
 // Run executes body on n simulated threads, attaching a Ctx to each, and
 // returns the region metrics.
 func (s *System) Run(n int, seed uint64, body func(c *Ctx)) sim.Result {
-	res := sim.Run(s.Arch, s.H, n, seed, nil, func(p *sim.Proc) {
-		body(s.attach(p))
+	if s.Arch.Shard.Shards != 0 {
+		// Callers may stamp Arch.Shard after NewSystem; keep the
+		// pre-touching allocator in sync with the engine choice.
+		s.Heap.PreTouch = true
+	}
+	// attach mutates shared state (heap pools, staging slices, the shard
+	// engine's hooks), so it runs in the engine's serial setup phase; the
+	// bodies — concurrent under the sharded engine — get the prepared Ctx.
+	start := time.Now() //rtmvet:ignore host-side wall clock for the timing sidecar; never feeds simulated state
+	res := sim.Run(s.Arch, s.H, n, seed, func(p *sim.Proc) {
+		s.attach(p)
+	}, func(p *sim.Proc) {
+		body(s.ctxs[p.ID()])
 	})
+	if s.Obs != nil {
+		// Host-side wall clock for the timing sidecar; every simulated
+		// quantity stays deterministic.
+		s.Obs.AddWall(int64(time.Since(start))) //rtmvet:ignore host-side wall clock for the timing sidecar; never feeds simulated state
+	}
+	s.mergeStaged()
 	if s.RegionHook != nil {
 		s.RegionHook(res)
 	}
@@ -215,6 +275,14 @@ func (s *System) Measure(res sim.Result, abortsBefore uint64) energy.Measure {
 // attach builds the per-thread context.
 func (s *System) attach(p *sim.Proc) *Ctx {
 	tid := p.ID()
+	if p.Sharded() {
+		if s.stage == nil {
+			s.stage = make([]*perf.Set, s.Arch.MaxThreads())
+		}
+		if s.stage[tid] == nil {
+			s.stage[tid] = perf.NewSet()
+		}
+	}
 	if s.pools[tid] == nil {
 		s.pools[tid] = s.Heap.NewPool()
 	}
@@ -224,6 +292,12 @@ func (s *System) attach(p *sim.Proc) *Ctx {
 		s.ctxs[tid] = c
 	}
 	*c = Ctx{sys: s, P: p, Pool: s.pools[tid], obsSite: -1}
+	c.rmwFn = func() {
+		c.P.AddCycles(c.sys.Arch.Lat.AtomicRMW)
+		c.P.StoreTiming(c.rmwAddr)
+		c.rmwOld = c.sys.H.Peek(c.rmwAddr)
+		c.sys.H.Poke(c.rmwAddr, c.rmwF(c.rmwOld))
+	}
 	switch s.Backend {
 	case HTM, HTMBare, HLE:
 		c.htx = s.HTM.Attach(p)
@@ -258,6 +332,31 @@ type Ctx struct {
 	obsSite      int32
 	blockStart   uint64
 	attemptStart uint64
+
+	// siteIDs caches recorder site-id interning per thread in shard mode
+	// (first encounters intern through an exclusive boundary op).
+	siteIDs map[string]int32
+
+	// rmwFn is the persistent boundary closure for sharded RMW, with its
+	// arguments and result passed through the fields below — allocating a
+	// capturing closure per RMW would put per-lock-op garbage on the shard
+	// hot path.
+	rmwFn   func()
+	rmwAddr uint64
+	rmwF    func(int64) int64
+	rmwOld  int64
+}
+
+// cnt returns the counter set for this thread's current context:
+// per-thread staging during the shard parallel phase, the shared set
+// everywhere else.
+//
+//rtm:hot
+func (c *Ctx) cnt() *perf.Set {
+	if c.P.ShardActive() {
+		return c.sys.stage[c.P.ID()]
+	}
+	return c.sys.Counters
 }
 
 // System returns the owning system.
@@ -304,6 +403,14 @@ func (c *Ctx) RMW(addr uint64, f func(int64) int64) int64 {
 		return c.sys.HTM.RawRMW(c.P, addr, f)
 	}
 	c.sys.PT.Service(c.P, addr)
+	if c.P.ShardActive() {
+		// Peek+Poke must see the live word: run the whole RMW as one
+		// exclusive boundary op (same cycle charges as the inline path).
+		c.rmwAddr, c.rmwF = addr, f
+		c.P.Exclusive(c.rmwFn)
+		c.rmwF = nil
+		return c.rmwOld
+	}
 	c.P.AddCycles(c.sys.Arch.Lat.AtomicRMW)
 	c.P.StoreTiming(addr)
 	old := c.sys.H.Peek(addr)
@@ -371,18 +478,24 @@ type restartSignal struct{}
 // (0 for a first-try commit).
 func (c *Ctx) Retries() int { return c.lastRetries }
 
-// emit records a trace event if tracing is enabled.
+// emit records a trace event if tracing is enabled. The trace buffer is
+// single-threaded, so shard workers buffer the event for boundary replay.
 func (c *Ctx) emit(kind trace.Kind, detail string) {
 	if c.sys.Trace == nil {
 		return
 	}
-	c.sys.Trace.Emit(trace.Event{
+	ev := trace.Event{
 		Cycle:  c.P.Cycles(),
 		Thread: c.P.ID(),
 		Kind:   kind,
 		Site:   c.site,
 		Detail: detail,
-	})
+	}
+	if c.P.ShardActive() {
+		c.P.DeferFn(func() { c.sys.Trace.Emit(ev) })
+		return
+	}
+	c.sys.Trace.Emit(ev)
 }
 
 // AtomicSite runs an atomic block tagged with a site name. Per-site
@@ -393,14 +506,38 @@ func (c *Ctx) AtomicSite(site string, body func(t Tx)) {
 	prev, prevID := c.site, c.obsSite
 	c.site = site
 	if r := c.sys.Obs; r != nil {
-		c.obsSite = r.SiteID(site)
+		c.obsSite = c.siteID(r, site)
 	}
 	start := c.P.Cycles()
 	c.Atomic(body)
-	cnt := c.sys.Counters
+	cnt := c.cnt()
 	cnt.Add("site:"+site+":cycles", c.P.Cycles()-start)
 	cnt.Inc("site:" + site + ":commits")
 	c.site, c.obsSite = prev, prevID
+}
+
+// siteID interns site on the recorder. SiteID is mutex-guarded for
+// exactly this call: interning from the shard parallel phase must not
+// take a simulated-time path (a park or exclusive boundary op), or the
+// simulation's outcome would depend on whether a recorder is attached.
+// The id is cached per-thread, keeping the mutex off the steady-state
+// hot path.
+func (c *Ctx) siteID(r *obs.Recorder, site string) int32 {
+	if r == nil {
+		return -1
+	}
+	if !c.P.ShardActive() {
+		return r.SiteID(site)
+	}
+	if id, ok := c.siteIDs[site]; ok {
+		return id
+	}
+	id := r.SiteID(site)
+	if c.siteIDs == nil {
+		c.siteIDs = make(map[string]int32)
+	}
+	c.siteIDs[site] = id
+	return id
 }
 
 // beginAttempt marks the start of one attempt of the current atomic
@@ -408,26 +545,51 @@ func (c *Ctx) AtomicSite(site string, body func(t Tx)) {
 func (c *Ctx) beginAttempt() { c.attemptStart = c.P.Cycles() }
 
 // obsCommit records the committed atomic block on the flight recorder:
-// one slice from block start (retries included) to now.
+// one slice from block start (retries included) to now. The recorder is
+// single-threaded, so shard workers defer the event for boundary replay.
 func (c *Ctx) obsCommit(retries int) {
-	if r := c.sys.Obs; r != nil {
-		r.TxCommit(c.P.ID(), c.P.Cycles(), c.blockStart, c.obsSite, retries)
+	r := c.sys.Obs
+	if r == nil {
+		return
 	}
+	if c.P.ShardActive() {
+		c.P.DeferEvent(obs.Event{
+			Cycle: c.P.Cycles(), Start: c.blockStart, Site: c.obsSite,
+			Aux: int32(retries), Kind: obs.KTxCommit,
+		})
+		return
+	}
+	r.TxCommit(c.P.ID(), c.P.Cycles(), c.blockStart, c.obsSite, retries)
 }
 
 // obsAbort records one wasted attempt with its cause, the conflicting
 // line (0 if none) and the aggressor thread (-1 if none).
 func (c *Ctx) obsAbort(cause obs.Cause, line uint64, by int) {
-	if r := c.sys.Obs; r != nil {
-		r.TxAbort(c.P.ID(), c.P.Cycles(), c.attemptStart, c.obsSite, cause, line, by)
+	r := c.sys.Obs
+	if r == nil {
+		return
 	}
+	if c.P.ShardActive() {
+		c.P.DeferEvent(obs.Event{
+			Cycle: c.P.Cycles(), Start: c.attemptStart, Site: c.obsSite,
+			Cause: cause, Arg: line, Aux: int32(by), Kind: obs.KTxAbort,
+		})
+		return
+	}
+	r.TxAbort(c.P.ID(), c.P.Cycles(), c.attemptStart, c.obsSite, cause, line, by)
 }
 
 // obsInstant records a point event (fallback serialisation, HLE elide).
 func (c *Ctx) obsInstant(kind obs.Kind) {
-	if r := c.sys.Obs; r != nil {
-		r.TxInstant(c.P.ID(), c.P.Cycles(), c.obsSite, kind)
+	r := c.sys.Obs
+	if r == nil {
+		return
 	}
+	if c.P.ShardActive() {
+		c.P.DeferEvent(obs.Event{Cycle: c.P.Cycles(), Site: c.obsSite, Kind: kind})
+		return
+	}
+	r.TxInstant(c.P.ID(), c.P.Cycles(), c.obsSite, kind)
 }
 
 // obsCause maps an HTM abort cause onto the unified taxonomy. The first
@@ -445,8 +607,9 @@ func (c *Ctx) noteSiteAbort(cause string) {
 	if c.site == "" {
 		return
 	}
-	c.sys.Counters.Inc("site:" + c.site + ":aborts")
-	c.sys.Counters.Inc("site:" + c.site + ":abort." + cause)
+	cnt := c.cnt()
+	cnt.Inc("site:" + c.site + ":aborts")
+	cnt.Inc("site:" + c.site + ":abort." + cause)
 }
 
 // Atomic executes body atomically under the system's backend.
@@ -456,7 +619,7 @@ func (c *Ctx) Atomic(body func(t Tx)) {
 	}
 	c.inTx = true
 	defer func() { c.inTx = false }()
-	c.sys.Counters.Inc("tm:atomic")
+	c.cnt().Inc("tm:atomic")
 	c.resetFrees()
 	c.blockStart = c.P.Cycles()
 	c.attemptStart = c.blockStart
@@ -573,7 +736,7 @@ func (c *Ctx) atomicHTM(body func(t Tx), bare bool) {
 	}
 	// Fall-back path: serialise on the write side of the lock. The lock
 	// write conflict-aborts every transaction that read the lock word.
-	s.Counters.Inc("tm:fallback")
+	c.cnt().Inc("tm:fallback")
 	c.emit(trace.KindFallback, "")
 	c.obsInstant(obs.KTxFallback)
 	s.serial.WriteLock(c)

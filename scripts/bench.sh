@@ -17,6 +17,15 @@ echo "== micro benchmarks (lineset, mem, sim, htm) =="
 go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
     ./internal/lineset ./internal/mem ./internal/sim ./internal/htm | tee "$tmp"
 
+echo "== shard scaling (sharded engine vs classic; host-core dependent) =="
+go test -run '^$' -bench BenchmarkShardThroughput -benchmem -benchtime 3x \
+    ./internal/tm | tee -a "$tmp"
+awk -v nproc="$(nproc 2>/dev/null || echo '?')" \
+    '$1 ~ /BenchmarkShardThroughput\/shards=1(-[0-9]+)?$/ {s1=$3}
+     $1 ~ /BenchmarkShardThroughput\/shards=8(-[0-9]+)?$/ {s8=$3}
+     END { if (s1 > 0 && s8 > 0)
+             printf "bench: shards=8 vs shards=1 wall-clock speedup %.2fx (bounded by host cores: %s)\n", s1/s8, nproc }' "$tmp"
+
 echo "== per-figure benchmarks (one iteration each) =="
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$tmp"
 

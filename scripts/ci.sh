@@ -38,12 +38,23 @@ trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/rtmlab -scale test -seeds 1 -trace "$obsdir/trace.json" -metrics "$obsdir/metrics" table4 > /dev/null
 go run ./cmd/tracecheck -metrics "$obsdir/metrics/table4.json" "$obsdir/trace.json"
 
+echo "== sharded engine smoke (traced -shards 4 + output invariance) =="
+# The same experiment on the epoch-synchronized sharded engine: the trace
+# must still validate, and the experiment tables plus metrics sidecar
+# must be byte-identical across shard counts (the engine's core
+# guarantee; only the .timing.json sidecar may differ).
+go run ./cmd/rtmlab -scale test -seeds 1 -shards 4 -trace "$obsdir/trace4.json" -metrics "$obsdir/metrics4" table4 > "$obsdir/out4.txt"
+go run ./cmd/tracecheck -metrics "$obsdir/metrics4/table4.json" "$obsdir/trace4.json"
+go run ./cmd/rtmlab -scale test -seeds 1 -shards 1 -j 1 table4 > "$obsdir/out1.txt"
+cmp "$obsdir/out1.txt" "$obsdir/out4.txt"
+
 echo "== disabled-recorder overhead gate (htm vs committed snapshot) =="
 # The flight recorder must cost nothing when off: every site is a nil
 # check. Compare the htm micro-benchmarks (recording disabled, as in the
 # snapshot) against the latest committed BENCH_*.json; min of 3 runs
-# filters scheduler noise. Tolerance in percent, override with
-# BENCH_TOL_PCT for noisy machines.
+# filters scheduler noise. The report ends with a geomean ns/op ratio
+# line — the one-number drift summary for the gate. Tolerance in
+# percent, override with BENCH_TOL_PCT for noisy machines.
 snapshot="$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
 if [ -n "$snapshot" ]; then
     go test -run '^$' -bench . -benchtime "${BENCH_GATE_TIME:-0.3s}" -count 3 ./internal/htm \
