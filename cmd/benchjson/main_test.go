@@ -81,15 +81,15 @@ func TestCompareMinOfRunsAndTolerance(t *testing.T) {
 	cur := Snapshot{Benchmarks: []Benchmark{
 		bm("p", "BenchmarkA-8", 110), // noisy run...
 		bm("p", "BenchmarkA-8", 101), // ...min 101 → +1%, within 2%
-		bm("p", "BenchmarkB-8", 104), // +4% → regression
+		bm("p", "BenchmarkB-8", 104), // +4% → geomean ≈ +2.5% → regression
 		bm("p", "BenchmarkNew-8", 7), // no baseline → ignored
 	}}
 	report, regressed := compare(base, cur, 2.0, "")
 	if !regressed {
-		t.Fatalf("expected regression:\n%s", report)
+		t.Fatalf("expected geomean regression:\n%s", report)
 	}
-	if !strings.Contains(report, "BenchmarkB-8") || !strings.Contains(report, "REGRESSED") {
-		t.Errorf("report missing regression line:\n%s", report)
+	if !strings.Contains(report, "BenchmarkB-8") || !strings.Contains(report, "high") {
+		t.Errorf("report missing the beyond-tolerance marker:\n%s", report)
 	}
 	if strings.Contains(report, "BenchmarkGone") || strings.Contains(report, "BenchmarkNew") {
 		t.Errorf("non-overlapping benchmarks compared:\n%s", report)
@@ -99,6 +99,16 @@ func TestCompareMinOfRunsAndTolerance(t *testing.T) {
 	report, regressed = compare(base, cur, 2.0, "BenchmarkA")
 	if regressed {
 		t.Fatalf("BenchmarkA should pass via min-of-runs:\n%s", report)
+	}
+
+	// One noisy outlier must not fail the gate while the geomean holds:
+	// B is +4% ("high"), but pooled with A the geomean is within 3%.
+	report, regressed = compare(base, cur, 3.0, "")
+	if regressed {
+		t.Fatalf("geomean within tolerance should pass despite one high benchmark:\n%s", report)
+	}
+	if !strings.Contains(report, "high") {
+		t.Errorf("per-benchmark marker missing on passing gate:\n%s", report)
 	}
 
 	// No overlap at all must fail loudly, not pass vacuously.

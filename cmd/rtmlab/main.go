@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"rtmlab/internal/arch"
 	"rtmlab/internal/harness"
 	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
@@ -53,13 +54,19 @@ func main() {
 		traceLimit = flag.Int("trace-limit", 1<<16, "max events kept per thread track (0 = unbounded)")
 		shards     = flag.Int("shards", 0, "intra-point engine shards: 0 = classic serial engine, N > 0 = N epoch-synchronized workers, -1 = auto (one per simulated core); output is byte-identical for any shards >= 1")
 		epochCyc   = flag.Uint64("epoch-cycles", 0, "coherence-epoch length in simulated cycles for -shards (0 = default)")
+		classifier = flag.Bool("shard-classifier", true, "ownership classifier for -shards: serve frozen-private accesses and conflict claims inside the epoch (false = park-everything engine); a semantic knob, byte-identical per setting at any shards >= 1")
 	)
 	flag.Parse()
 
 	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs,
-		Shards: *shards, EpochCycles: *epochCyc}
+		Shards: *shards, EpochCycles: *epochCyc, NoClassifier: !*classifier}
 	if *traceOut != "" || *metricsDir != "" {
 		o.Obs = obs.NewCollector(*traceLimit)
+		ec := *epochCyc
+		if *shards != 0 && ec == 0 {
+			ec = arch.DefaultEpochCycles
+		}
+		o.Obs.SetRunConfig(*shards, ec, *shards != 0 && !*classifier)
 	}
 	switch *scale {
 	case "test":

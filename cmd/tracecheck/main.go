@@ -6,10 +6,13 @@
 // gate the observability layer; exits non-zero with a diagnostic on the
 // first violation.
 //
-// Usage: tracecheck [-metrics sidecar.json] <trace.json>
+// Usage: tracecheck [-metrics sidecar.json] [-sharded] <trace.json>
 //
 // With -metrics it additionally checks that the given metrics sidecar is
-// valid JSON carrying the rtmlab-metrics/v1 schema marker.
+// valid JSON carrying the rtmlab-metrics/v1 schema marker. With -sharded
+// the sidecar must also carry the sharded engine's derived metrics: at
+// least one recorder with a sharding block whose epoch count is positive
+// and whose serial fraction lies in [0, 1].
 package main
 
 import (
@@ -41,13 +44,16 @@ func fail(format string, args ...any) {
 
 func main() {
 	metrics := flag.String("metrics", "", "also validate this metrics sidecar JSON file")
+	sharded := flag.Bool("sharded", false, "require the sidecar to carry sharded-engine metrics (epochs, serial fraction)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fail("usage: tracecheck [-metrics sidecar.json] <trace.json>")
+		fail("usage: tracecheck [-metrics sidecar.json] [-sharded] <trace.json>")
 	}
 	path := flag.Arg(0)
 	if *metrics != "" {
-		checkMetrics(*metrics)
+		checkMetrics(*metrics, *sharded)
+	} else if *sharded {
+		fail("-sharded needs -metrics")
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -101,8 +107,10 @@ func main() {
 }
 
 // checkMetrics validates a metrics sidecar: well-formed JSON with the
-// expected schema marker and at least one recorder.
-func checkMetrics(path string) {
+// expected schema marker and at least one recorder. With sharded it also
+// requires the sharded engine's derived metrics on at least one recorder
+// and sanity-checks every sharding block it finds.
+func checkMetrics(path string, sharded bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -111,8 +119,16 @@ func checkMetrics(path string) {
 		fail("%s: not valid JSON", path)
 	}
 	var m struct {
-		Schema    string            `json:"schema"`
-		Recorders []json.RawMessage `json:"recorders"`
+		Schema    string `json:"schema"`
+		Recorders []struct {
+			Label    string `json:"label"`
+			Sharding *struct {
+				Epochs              uint64  `json:"epochs"`
+				ParksPerEpoch       float64 `json:"parks_per_epoch"`
+				BoundaryOpsPerEpoch float64 `json:"boundary_ops_per_epoch"`
+				SerialFraction      float64 `json:"serial_fraction"`
+			} `json:"sharding"`
+		} `json:"recorders"`
 	}
 	if err := json.Unmarshal(data, &m); err != nil {
 		fail("%s: %v", path, err)
@@ -123,5 +139,25 @@ func checkMetrics(path string) {
 	if len(m.Recorders) == 0 {
 		fail("%s: no recorders", path)
 	}
-	fmt.Printf("ok: %s (%d recorders)\n", path, len(m.Recorders))
+	withSharding := 0
+	for _, r := range m.Recorders {
+		s := r.Sharding
+		if s == nil {
+			continue
+		}
+		withSharding++
+		if s.Epochs == 0 {
+			fail("%s: recorder %q: sharding block with zero epochs", path, r.Label)
+		}
+		if s.ParksPerEpoch < 0 || s.BoundaryOpsPerEpoch < 0 {
+			fail("%s: recorder %q: negative per-epoch rate", path, r.Label)
+		}
+		if s.SerialFraction < 0 || s.SerialFraction > 1 {
+			fail("%s: recorder %q: serial fraction %v outside [0, 1]", path, r.Label, s.SerialFraction)
+		}
+	}
+	if sharded && withSharding == 0 {
+		fail("%s: no recorder carries sharded-engine metrics", path)
+	}
+	fmt.Printf("ok: %s (%d recorders, %d sharded)\n", path, len(m.Recorders), withSharding)
 }

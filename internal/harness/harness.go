@@ -49,6 +49,14 @@ type Options struct {
 	// EpochCycles overrides the coherence-epoch length of the sharded
 	// engine (0 = arch.DefaultEpochCycles).
 	EpochCycles uint64
+	// NoClassifier disables the sharded engine's ownership classifier
+	// (see arch.Sharding); meaningful only with Shards != 0.
+	NoClassifier bool
+}
+
+// sharding returns the arch.Sharding the options describe.
+func (o Options) sharding() arch.Sharding {
+	return arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles, NoClassifier: o.NoClassifier}
 }
 
 // Machine returns the simulated machine description with the options'
@@ -56,7 +64,7 @@ type Options struct {
 // -shards reaches every point.
 func (o Options) Machine() *arch.Config {
 	cfg := arch.Haswell()
-	cfg.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
+	cfg.Shard = o.sharding()
 	return cfg
 }
 
@@ -69,7 +77,7 @@ func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.
 		return mod
 	}
 	return func(sys *tm.System) {
-		sys.Arch.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
+		sys.Arch.Shard = o.sharding()
 		if mod != nil {
 			mod(sys)
 		}
@@ -83,7 +91,7 @@ func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.
 // point (for call sites that construct systems directly).
 func (o Options) obsSystem(cfg func() *tm.System, point int, label string) *tm.System {
 	sys := cfg()
-	sys.Arch.Shard = arch.Sharding{Shards: o.Shards, EpochCycles: o.EpochCycles}
+	sys.Arch.Shard = o.sharding()
 	if o.Obs != nil {
 		sys.SetRecorder(o.Obs.Recorder(point, label))
 	}

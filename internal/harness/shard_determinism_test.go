@@ -17,39 +17,46 @@ import (
 // at the harness level: a full experiment (Table IV, which runs STAMP
 // setup plus multi-threaded regions under several backends) emits
 // byte-identical tables and CSVs for every combination of shard count
-// and runner fan-out. Shards >= 1 all use the epoch-synchronized engine,
-// whose semantics depend only on the epoch length — never on how many
-// host workers replay the boundaries — and -j only changes which worker
-// runs which point.
+// and runner fan-out, separately for each classifier setting. Shards
+// >= 1 all use the epoch-synchronized engine, whose semantics depend
+// only on the epoch length and the classifier knob — never on how many
+// engine shards or host workers carry the threads — and -j only changes
+// which worker runs which point. The ownership classifier is a semantic
+// knob (it changes when deferred ops interleave), so classifier-on and
+// classifier-off each pin their own byte-identity class rather than one
+// shared baseline.
 func TestShardMatrixDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs table4 at test scale once per matrix cell")
 	}
-	run := func(shards, jobs int) (string, []byte) {
+	run := func(shards, jobs int, noClassifier bool) (string, []byte) {
 		t.Helper()
 		dir := t.TempDir()
-		o := Options{Scale: stamp.Test, Seeds: 1, OutDir: dir, Jobs: jobs, Shards: shards}
+		o := Options{Scale: stamp.Test, Seeds: 1, OutDir: dir, Jobs: jobs,
+			Shards: shards, NoClassifier: noClassifier}
 		var buf bytes.Buffer
 		Table4(&buf, o)
 		csv, err := os.ReadFile(filepath.Join(dir, "table4.csv"))
 		if err != nil {
-			t.Fatalf("shards=%d jobs=%d: %v", shards, jobs, err)
+			t.Fatalf("shards=%d jobs=%d noClassifier=%v: %v", shards, jobs, noClassifier, err)
 		}
 		return buf.String(), csv
 	}
-	baseOut, baseCSV := run(1, 1)
-	for _, shards := range []int{1, 2, 8} {
-		for _, jobs := range []int{1, 8} {
-			if shards == 1 && jobs == 1 {
-				continue
-			}
-			out, csv := run(shards, jobs)
-			if out != baseOut {
-				t.Errorf("table4 output differs at shards=%d jobs=%d:\n--- base ---\n%s--- got ---\n%s",
-					shards, jobs, baseOut, out)
-			}
-			if !bytes.Equal(csv, baseCSV) {
-				t.Errorf("table4 CSV differs at shards=%d jobs=%d", shards, jobs)
+	for _, noClassifier := range []bool{false, true} {
+		baseOut, baseCSV := run(1, 1, noClassifier)
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, jobs := range []int{1, 8} {
+				if shards == 1 && jobs == 1 {
+					continue
+				}
+				out, csv := run(shards, jobs, noClassifier)
+				if out != baseOut {
+					t.Errorf("table4 output differs at shards=%d jobs=%d noClassifier=%v:\n--- base ---\n%s--- got ---\n%s",
+						shards, jobs, noClassifier, baseOut, out)
+				}
+				if !bytes.Equal(csv, baseCSV) {
+					t.Errorf("table4 CSV differs at shards=%d jobs=%d noClassifier=%v", shards, jobs, noClassifier)
+				}
 			}
 		}
 	}
@@ -67,9 +74,9 @@ func TestShardStampDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs genome at test scale under several engines")
 	}
-	shardMod := func(shards int) func(sys *tm.System) {
+	shardMod := func(shards int, noClassifier bool) func(sys *tm.System) {
 		return func(sys *tm.System) {
-			sys.Arch.Shard = arch.Sharding{Shards: shards}
+			sys.Arch.Shard = arch.Sharding{Shards: shards, NoClassifier: noClassifier}
 		}
 	}
 	for _, backend := range []tm.Backend{tm.HTM, tm.STM} {
@@ -77,27 +84,30 @@ func TestShardStampDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v classic: %v", backend, err)
 		}
-		s2, err := stamp.Run(stamp.NewGenome(stamp.Test), backend, 4, 42, shardMod(2))
-		if err != nil {
-			t.Fatalf("%v shards=2: %v", backend, err)
-		}
-		s4, err := stamp.Run(stamp.NewGenome(stamp.Test), backend, 4, 42, shardMod(4))
-		if err != nil {
-			t.Fatalf("%v shards=4: %v", backend, err)
-		}
-		// Shard-count invariance is exact: every field, cycles included.
-		if !reflect.DeepEqual(s2, s4) {
-			t.Errorf("%v: results differ between shards=2 and shards=4:\n%+v\nvs\n%+v", backend, s2, s4)
-		}
-		// Classic vs sharded: same committed work, independently timed.
-		// Commits counts hardware commits, so fallback-lock completions
-		// (whose frequency is schedule-dependent) are added back in: the
-		// sum is the input-determined number of completed atomic blocks.
-		classicDone := classic.Commits + classic.Fallbacks
-		shardedDone := s2.Commits + s2.Fallbacks
-		if classicDone != shardedDone {
-			t.Errorf("%v: completed atomic blocks differ: classic %d (%d fb) vs sharded %d (%d fb)",
-				backend, classicDone, classic.Fallbacks, shardedDone, s2.Fallbacks)
+		for _, noClassifier := range []bool{false, true} {
+			s2, err := stamp.Run(stamp.NewGenome(stamp.Test), backend, 4, 42, shardMod(2, noClassifier))
+			if err != nil {
+				t.Fatalf("%v shards=2 noClassifier=%v: %v", backend, noClassifier, err)
+			}
+			s4, err := stamp.Run(stamp.NewGenome(stamp.Test), backend, 4, 42, shardMod(4, noClassifier))
+			if err != nil {
+				t.Fatalf("%v shards=4 noClassifier=%v: %v", backend, noClassifier, err)
+			}
+			// Shard-count invariance is exact: every field, cycles included.
+			if !reflect.DeepEqual(s2, s4) {
+				t.Errorf("%v noClassifier=%v: results differ between shards=2 and shards=4:\n%+v\nvs\n%+v",
+					backend, noClassifier, s2, s4)
+			}
+			// Classic vs sharded: same committed work, independently timed.
+			// Commits counts hardware commits, so fallback-lock completions
+			// (whose frequency is schedule-dependent) are added back in: the
+			// sum is the input-determined number of completed atomic blocks.
+			classicDone := classic.Commits + classic.Fallbacks
+			shardedDone := s2.Commits + s2.Fallbacks
+			if classicDone != shardedDone {
+				t.Errorf("%v noClassifier=%v: completed atomic blocks differ: classic %d (%d fb) vs sharded %d (%d fb)",
+					backend, noClassifier, classicDone, classic.Fallbacks, shardedDone, s2.Fallbacks)
+			}
 		}
 	}
 }

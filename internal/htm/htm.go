@@ -172,10 +172,22 @@ type System struct {
 	stage []*perf.Set
 
 	// bwr maps line -> epoch ordinal of the boundary that last stored to
-	// it (commit write-back, raw store, RMW). Read-probes replaying later
-	// in the same boundary observed stale frozen state mid-epoch and must
+	// it (commit write-back, raw store, RMW). A replayed read-probe whose
+	// issue epoch is <= that ordinal captured frozen state from before the
+	// write even though the write's cycle orders earlier, and must
 	// conflict-abort; see shard.go.
 	bwr *lineset.Table[uint64]
+
+	// slices are the per-core directory slices of the shard parallel
+	// phase (nil under the classic engine or with the classifier off).
+	// A line the frozen directory shows private to one core can be
+	// conflict-tracked in that core's slice at access time — no deferred
+	// probe, no boundary replay — because only that core's threads (one
+	// shard, one worker) can touch the slice mid-phase, and every
+	// boundary-context conflict path (probe replay, raw-store kills, L3
+	// evictions, raw-load escalation) consults the slices alongside the
+	// global directory. See shard.go for the claim rules.
+	slices []*lineset.Table[track]
 
 	// AbortHook, if set, observes every abort (used by the tm layer to
 	// classify lock aborts).
@@ -478,6 +490,34 @@ func (t *Txn) XAbort(code uint8) {
 	panic(t.pendingAbort)
 }
 
+// Fault tears the transaction down after its body raised a synchronous
+// fault (a runtime panic in workload code), returning the abort the
+// caller should report. On Haswell any exception inside a transactional
+// region aborts the transaction and the fault is only ever delivered to
+// the OS if the non-speculative re-execution repeats it; a simulated
+// fault can additionally be the visible symptom of a doomed attempt
+// (under the sharded engine a transaction can read mixed-epoch state
+// after the conflict that kills it, before the abort is delivered). If
+// the doomed-attempt abort was already rolled back and left pending it
+// is consumed as-is; an attempt still live is rolled back as a conflict
+// abort. Reports ok=false — caller should propagate the fault — when no
+// transaction was in flight.
+func (t *Txn) Fault() (a Abort, ok bool) {
+	if t.pending {
+		t.pending = false
+		return t.pendingAbort, true
+	}
+	if !t.active {
+		return Abort{}, false
+	}
+	t.sys.abortSelf(t, Abort{
+		Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+		ByThread: -1,
+	})
+	t.pending = false
+	return t.pendingAbort, true
+}
+
 // Commit commits the transaction (outermost level) or pops one nesting
 // level.
 func (t *Txn) Commit() {
@@ -559,14 +599,18 @@ func (s *System) countAbort(c *perf.Set, a Abort) {
 	}
 }
 
-// clearSets removes tx's lines from the global directory and empties its
-// read and write sets (invalidating the last-line memos, whose validity
-// is tied to set membership).
+// clearSets removes tx's lines from the global directory (or the core's
+// directory slice, whichever holds the claim) and empties its read and
+// write sets (invalidating the last-line memos, whose validity is tied
+// to set membership).
 func (s *System) clearSets(tx *Txn) {
 	// Per-line directory updates commute (each clears this thread's own
 	// claim on one line), so set iteration order cannot leak into state.
 	tid := tx.proc.ID()
 	tx.readSet.Range(func(la uint64) bool {
+		if tx.sliceRelease(la, false) {
+			return true
+		}
 		if e := s.dir.Ref(la); e != nil {
 			e.readers &^= 1 << uint(tid)
 			if e.readers == 0 && e.writer < 0 {
@@ -576,6 +620,9 @@ func (s *System) clearSets(tx *Txn) {
 		return true
 	})
 	tx.writeSet.Range(func(la uint64) bool {
+		if tx.sliceRelease(la, true) {
+			return true
+		}
 		if e := s.dir.Ref(la); e != nil {
 			if int(e.writer) == tid {
 				e.writer = -1
@@ -636,6 +683,30 @@ func (s *System) onL1Evict(core int, la uint64) {
 // these as conflicts (no RETRY, CONFLICT set) — we keep the true cause in
 // the internal counters.
 func (s *System) onL3Evict(la uint64) {
+	// Slice-tracked claims are subject to the same inclusive-L3 bound as
+	// directory-tracked ones. L3 fills and evictions only happen in
+	// boundary or classic contexts, where the slices are safe to read.
+	for _, sl := range s.slices {
+		se, ok := sl.Get(la)
+		if !ok {
+			continue
+		}
+		if se.writer >= 0 {
+			if tx := s.txs[se.writer]; tx != nil && tx.active {
+				s.abortTx(tx, Abort{Status: StatusCapacity, Cause: CauseWriteCapacity, ByThread: -1})
+			}
+		}
+		readers := se.readers
+		for tid := 0; readers != 0; tid++ {
+			if readers&(1<<uint(tid)) == 0 {
+				continue
+			}
+			readers &^= 1 << uint(tid)
+			if tx := s.txs[tid]; tx != nil && tx.active {
+				s.abortTx(tx, Abort{Status: StatusConflict, Cause: CauseReadCapacity, ByThread: -1})
+			}
+		}
+	}
 	e, ok := s.dir.Get(la)
 	if !ok {
 		return
@@ -691,9 +762,23 @@ func (s *System) onL2Evict(core int, la uint64) {
 // survives one epoch longer than the legacy engine would allow.
 func (s *System) RawLoad(p *sim.Proc, addr uint64) int64 {
 	if p.ShardActive() {
+		la := mem.LineAddr(addr)
 		if s.dir.Len() != 0 {
-			la := mem.LineAddr(addr)
 			if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
+				t := s.txs[p.ID()]
+				t.rawAddr = addr
+				p.Exclusive(t.rawLoadFn)
+				return t.rawRet
+			}
+		}
+		if s.slices != nil {
+			// A slice write claim can only live on a line whose frozen
+			// directory owner is the claiming core (the claim rule, and
+			// every ownership downgrade kills the claim first). Foreign
+			// slices are mid-phase-mutable and must not be read here, so
+			// the frozen owner is the screen: foreign owner -> escalate to
+			// the boundary path, which consults the slices serially.
+			if o := s.h.DirOwner(la); o >= 0 && o != p.Core() {
 				t := s.txs[p.ID()]
 				t.rawAddr = addr
 				p.Exclusive(t.rawLoadFn)
@@ -769,6 +854,10 @@ func (s *System) RawRMW(p *sim.Proc, addr uint64, f func(int64) int64) int64 {
 // that has the line in its read or write set. It performs no simulated
 // memory operations and never yields.
 func (s *System) killTrackers(self int, la uint64) {
+	// Slice claims first: the victims' rollbacks can delete global
+	// directory entries (relocating others), so the global entry is
+	// snapshotted only afterwards.
+	s.sliceKill(self, la, true)
 	// Work from a value snapshot: each victim's rollback mutates (and can
 	// relocate) the directory entry.
 	e, ok := s.dir.Get(la)
@@ -793,5 +882,47 @@ func (s *System) killTrackers(self int, la uint64) {
 	}
 }
 
+// sliceKill conflict-aborts slice-tracked claimants of la other than
+// self: any writer, plus every reader when the requester writes. It runs
+// only in boundary or classic-serial contexts, where every slice is safe
+// to read; victims' rollbacks mutate the slices, so each entry is
+// snapshotted by value first.
+func (s *System) sliceKill(self int, la uint64, write bool) {
+	for _, sl := range s.slices {
+		if sl.Len() == 0 {
+			continue
+		}
+		e, ok := sl.Get(la)
+		if !ok {
+			continue
+		}
+		if e.writer >= 0 && int(e.writer) != self {
+			s.abortTx(s.txs[e.writer], Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: self,
+			})
+		}
+		if !write {
+			continue
+		}
+		readers := e.readers &^ (1 << uint(self))
+		for tid := 0; readers != 0; tid++ {
+			if readers&(1<<uint(tid)) != 0 {
+				readers &^= 1 << uint(tid)
+				s.abortTx(s.txs[tid], Abort{
+					Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+					ConflictLine: la, ByThread: self,
+				})
+			}
+		}
+	}
+}
+
 // ActiveLines returns the number of lines currently tracked (for tests).
-func (s *System) ActiveLines() int { return s.dir.Len() }
+func (s *System) ActiveLines() int {
+	n := s.dir.Len()
+	for _, sl := range s.slices {
+		n += sl.Len()
+	}
+	return n
+}

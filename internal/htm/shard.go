@@ -72,6 +72,22 @@ func (s *System) initShard(p *sim.Proc, tx *Txn) {
 	} else {
 		s.bwr.Clear() // epoch ordinals restart with each region's engine
 	}
+	// Per-core directory slices ride the ownership classifier: both serve
+	// the common case from frozen private state. The L2-bounded read-set
+	// ablation keeps its eviction hook slice-unaware, so slices stay off
+	// there.
+	if s.cfg.Shard.Classifier() && s.cfg.TSX.ReadSetLevel != 2 {
+		if s.slices == nil {
+			s.slices = make([]*lineset.Table[track], s.cfg.Cores)
+			for i := range s.slices {
+				s.slices[i] = lineset.NewTable[track](64)
+			}
+		} else {
+			for _, sl := range s.slices {
+				sl.Clear()
+			}
+		}
+	}
 	if tx.commitFn == nil {
 		tx.commitFn = func() { s.shardCommit(tx) }
 		tx.rawLoadFn = func() { s.shardRawLoadSlow(tx) }
@@ -116,16 +132,22 @@ func (s *System) abortSelf(tx *Txn, a Abort) {
 	s.abortTx(tx, a)
 }
 
-// shardLoad is Txn.Load during the parallel phase: the conflict probe is
-// deferred to the boundary (guarded by the attempt generation) and the
-// read value is overlaid with the transaction's own redo buffer.
+// shardLoad is Txn.Load during the parallel phase: the conflict probe
+// either registers in the core's directory slice at once (lines the
+// frozen directory shows private to this core) or is deferred to the
+// boundary (guarded by the attempt generation), and the read value is
+// overlaid with the transaction's own redo buffer.
 //
 //rtm:hot
 func (t *Txn) shardLoad(addr uint64) int64 {
 	la := mem.LineAddr(addr)
 	if la != t.lastRead {
-		if t.readSet.Add(la) {
-			t.proc.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadProbe, Gen: t.gen, Addr: la})
+		if t.readSet.Add(la) && !t.sliceClaim(la, false) {
+			// Val carries the issuing epoch ordinal: the value this read
+			// captures reflects boundaries < ShardEpoch(), and the replayed
+			// probe uses it to detect writes the capture missed.
+			t.proc.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadProbe,
+				Gen: t.gen, Addr: la, Val: int64(t.proc.ShardEpoch())})
 		}
 		t.lastRead = la
 	}
@@ -139,14 +161,15 @@ func (t *Txn) shardLoad(addr uint64) int64 {
 	return v
 }
 
-// shardStore is Txn.Store during the parallel phase: probe deferred,
-// value buffered in the redo log (never published before commit).
+// shardStore is Txn.Store during the parallel phase: probe slice-claimed
+// or deferred, value buffered in the redo log (never published before
+// commit).
 //
 //rtm:hot
 func (t *Txn) shardStore(addr uint64, val int64) {
 	la := mem.LineAddr(addr)
 	if la != t.lastWrite {
-		if t.writeSet.Add(la) {
+		if t.writeSet.Add(la) && !t.sliceClaim(la, true) {
 			t.proc.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opWriteProbe, Gen: t.gen, Addr: la})
 		}
 		t.lastWrite = la
@@ -156,6 +179,127 @@ func (t *Txn) shardStore(addr uint64, val int64) {
 	t.proc.StoreTiming(addr)
 	t.deliverPending()
 	t.redo.Put(addr, val)
+}
+
+// sliceClaim tries to record t's conflict claim on la in its core's
+// directory slice instead of deferring a boundary probe, and reports
+// whether it did. The claim rules keep every conflict path sound without
+// reading another core's mid-phase state:
+//
+//   - Read claims need the line private to the core in the frozen
+//     directory (sole sharer, no foreign owner). Any foreign write
+//     reaching such a line goes through a boundary context that consults
+//     the slices (write-probe replay, raw-store kill, RMW kill, L3
+//     eviction), so a reader tracked here is never missed.
+//   - Write claims additionally need the core to be the frozen owner:
+//     non-transactional foreign loads screen on the frozen owner alone
+//     (RawLoad), and every ownership downgrade is preceded by a kill of
+//     the claim, so "owner == core" stays true while the claim lives.
+//   - The line must be absent from the frozen global directory: a
+//     directory entry means cross-core trackers (or their releases)
+//     are in flight, and those conflicts must replay in cycle order.
+//
+// Same-core conflicts resolve at claim time with the usual requester-wins
+// rule; the victims are same-shard state, so their local rollback is
+// race-free, exactly as in onL1Evict.
+//
+//rtm:hot
+func (t *Txn) sliceClaim(la uint64, write bool) bool {
+	s := t.sys
+	if s.slices == nil {
+		return false
+	}
+	core := t.proc.Core()
+	if write {
+		if !s.h.DirExclusive(core, la) {
+			return false
+		}
+	} else if !s.h.DirPrivate(core, la) {
+		return false
+	}
+	if s.dir.Len() != 0 {
+		if _, ok := s.dir.Get(la); ok {
+			return false
+		}
+	}
+	sl := s.slices[core]
+	self := t.proc.ID()
+	e, fresh := sl.Upsert(la)
+	if fresh {
+		e.writer = -1
+	} else {
+		// Snapshot the entry: the victims' rollbacks mutate and may move
+		// it (backward-shift compaction on delete).
+		snap := *e
+		conflicted := false
+		if snap.writer >= 0 && int(snap.writer) != self {
+			conflicted = true
+			s.txs[snap.writer].localAbort(Abort{
+				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+				ConflictLine: la, ByThread: self,
+			})
+		}
+		if write {
+			if readers := snap.readers &^ (1 << uint(self)); readers != 0 {
+				conflicted = true
+				for tid := 0; readers != 0; tid++ {
+					if readers&(1<<uint(tid)) != 0 {
+						readers &^= 1 << uint(tid)
+						s.txs[tid].localAbort(Abort{
+							Status: StatusConflict | StatusRetry, Cause: CauseConflict,
+							ConflictLine: la, ByThread: self,
+						})
+					}
+				}
+			}
+		}
+		if conflicted {
+			if e, fresh = sl.Upsert(la); fresh {
+				e.writer = -1
+			}
+		}
+	}
+	if write {
+		e.writer = int8(self)
+	} else {
+		e.readers |= 1 << uint(self)
+	}
+	t.proc.ShardLocalClaim()
+	return true
+}
+
+// sliceRelease clears t's claim of the given kind on la in its core's
+// directory slice, reporting whether the claim was tracked there (claims
+// live in exactly one place: the slice or the global directory). Safe
+// mid-phase for same-shard transactions and in any serial context.
+//
+//rtm:hot
+func (t *Txn) sliceRelease(la uint64, write bool) bool {
+	s := t.sys
+	if s.slices == nil {
+		return false
+	}
+	sl := s.slices[t.proc.Core()]
+	e := sl.Ref(la)
+	if e == nil {
+		return false
+	}
+	tid := t.proc.ID()
+	if write {
+		if int(e.writer) != tid {
+			return false
+		}
+		e.writer = -1
+	} else {
+		if e.readers&(1<<uint(tid)) == 0 {
+			return false
+		}
+		e.readers &^= 1 << uint(tid)
+	}
+	if e.readers == 0 && e.writer < 0 {
+		sl.Delete(la)
+	}
+	return true
 }
 
 // shardCommit runs at an epoch boundary (inside the transaction thread's
@@ -203,12 +347,21 @@ func (t *Txn) localAbort(a Abort) {
 			Addr: uint64(t.readSet.Len()), Val: int64(t.writeSet.Len())})
 	}
 	t.readSet.Range(func(la uint64) bool {
-		p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadRelease, Addr: la})
+		// Slice-tracked claims are same-shard state: released right here,
+		// no boundary trip. Directory claims still need the cycle-ordered
+		// release.
+		if !t.sliceRelease(la, false) {
+			p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opReadRelease, Addr: la})
+		}
 		return true
 	})
 	core := p.Core()
 	t.writeSet.Range(func(la uint64) bool {
 		s.h.DropPrivate(core, la)
+		// The boundary op is deferred even for slice-tracked write claims:
+		// its directory half degenerates to a no-op, but the shared-level
+		// invalidation of the speculative line must still happen there.
+		t.sliceRelease(la, true)
 		p.Defer(sim.ShardDef{Kind: sim.DefCustom, Op: opWriteRelease, Addr: la})
 		return true
 	})
@@ -243,18 +396,29 @@ func (s *System) shardApply(p *sim.Proc, d *sim.ShardDef) bool {
 			return true // the issuing attempt is gone; its probe is moot
 		}
 		la := d.Addr
-		if ep, ok := s.bwr.Get(la); ok && ep == p.ShardEpoch() {
-			// The line was written earlier in this same boundary (a commit
-			// write-back or raw store at an earlier cycle), so the value
-			// this read returned mid-epoch — frozen pre-boundary state — is
-			// stale. The classic engine's read would have seen the new
-			// value; the only consistent outcome here is a conflict abort.
+		if ep, ok := s.bwr.Get(la); ok && ep >= uint64(d.Val) {
+			// The line was boundary-written (a commit write-back or raw
+			// store) at or after the epoch whose frozen state this read
+			// captured mid-phase (d.Val, stamped at issue). The value the
+			// read returned missed that write even though the write's cycle
+			// orders before the read's — the classic engine would have
+			// returned the new value — so the only consistent outcome is a
+			// conflict abort. When issue and replay fall in the same epoch
+			// (the common, unskewed case) this reduces to "written earlier
+			// in this boundary". A load that parked instead reads live
+			// boundary state and cannot be stale, but its probe replays at
+			// its own issue epoch, where the test degenerates to the same
+			// same-boundary check as before.
 			s.abortTx(t, Abort{
 				Status: StatusConflict | StatusRetry, Cause: CauseConflict,
 				ConflictLine: la, ByThread: -1,
 			})
 			return true
 		}
+		// A sibling's slice-tracked write claim conflicts like a directory
+		// one (its rollback can delete directory entries, so it happens
+		// before ours is established).
+		s.sliceKill(self, la, false)
 		e, fresh := s.dir.Upsert(la)
 		if fresh {
 			e.writer = -1
@@ -275,6 +439,7 @@ func (s *System) shardApply(p *sim.Proc, d *sim.ShardDef) bool {
 			return true
 		}
 		la := d.Addr
+		s.sliceKill(self, la, true)
 		e, fresh := s.dir.Upsert(la)
 		if !fresh {
 			snap := *e
@@ -335,18 +500,20 @@ func (s *System) shardApply(p *sim.Proc, d *sim.ShardDef) bool {
 // tracking its line — strong atomicity, replayed in cycle order.
 func (s *System) shardRawStore(p *sim.Proc, addr uint64) {
 	la := mem.LineAddr(addr)
-	if s.dir.Len() != 0 {
+	if s.dir.Len() != 0 || s.slices != nil {
 		s.killTrackers(p.ID(), la)
 	}
 	s.bwr.Put(la, p.ShardEpoch())
 }
 
 // shardRawLoadSlow is RawLoad's exclusive boundary path, entered when
-// the frozen directory showed a foreign writer claim on the line.
+// the frozen directory showed a foreign writer claim on the line or a
+// foreign core owned it (a possible slice write claim).
 func (s *System) shardRawLoadSlow(t *Txn) {
 	p := t.proc
 	addr := t.rawAddr
 	la := mem.LineAddr(addr)
+	s.sliceKill(p.ID(), la, false)
 	if e, ok := s.dir.Get(la); ok && e.writer >= 0 && int(e.writer) != p.ID() {
 		s.abortTx(s.txs[e.writer], Abort{
 			Status: StatusConflict | StatusRetry, Cause: CauseConflict,

@@ -101,6 +101,10 @@ type Hierarchy struct {
 	// owning core's track. Layers above (htm, stm, sim, tm) reach the
 	// flight recorder through this field.
 	Rec *obs.Recorder
+
+	// shard holds the ownership-classifier state for the epoch-synchronized
+	// sharded engine (nil under the classic engine); see shard.go.
+	shard *shardState
 }
 
 // New builds a hierarchy for the given machine description with a fresh

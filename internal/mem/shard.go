@@ -1,6 +1,9 @@
 package mem
 
-import "rtmlab/internal/obs"
+import (
+	"rtmlab/internal/lineset"
+	"rtmlab/internal/obs"
+)
 
 // Shard-mode support: the epoch-synchronized sharded engine (internal/sim)
 // runs simulated threads concurrently between coherence boundaries. During
@@ -31,6 +34,122 @@ type ShardSink interface {
 	// DeferMemEvent buffers a recorder cache event (eviction,
 	// invalidation) on the given core's track.
 	DeferMemEvent(core int, kind obs.Kind, lineAddr uint64)
+	// DeferMemDelta buffers an ownership delta — an L3/directory
+	// transition the classifier proved conflict-free against frozen
+	// state — for boundary replay via Hierarchy.ApplyShardDelta.
+	DeferMemDelta(op uint8, lineAddr uint64)
+}
+
+// Ownership-delta opcodes carried by ShardSink.DeferMemDelta.
+const (
+	// MDLoadShare: a load was served locally (frozen L3 hit with no
+	// foreign owner, or a full miss installed by this core). Replay
+	// ensures L3 presence, downgrades a since-appeared foreign owner,
+	// and adds this core's sharer bit.
+	MDLoadShare uint8 = iota
+	// MDStoreClaim: a store was served locally against frozen-private
+	// state. Replay ensures L3 presence, invalidates any since-appeared
+	// peer copies, and claims exclusive ownership for this core.
+	MDStoreClaim
+	// MDVictimWB: a line left this core's private caches during a local
+	// L2 fill. Replay clears this core's directory ownership of the
+	// victim (a modified line writes back).
+	MDVictimWB
+)
+
+// shardState is the per-hierarchy ownership-classifier state for the
+// epoch-synchronized sharded engine. Non-nil only when a sharded region
+// with the classifier enabled is running. The per-core sets are
+// epoch-scoped: they record only transitions made since the last
+// boundary (the frozen L3 directory itself is the epoch-start seed) and
+// are cleared by ShardEpochReset. Each set is written exclusively by its
+// core's shard worker mid-epoch — the same single-owner contract as the
+// private L1/L2 — and read by the coordinator at boundaries.
+type shardState struct {
+	installed []*lineset.Set // lines this core installed into L3 this epoch
+	claimed   []*lineset.Set // lines this core claimed exclusive this epoch
+}
+
+// InitShard arms (or disarms) the ownership classifier for a sharded
+// region. With classifier=false every access that PR 5's narrow
+// private-cache classes cannot serve parks for the boundary, exactly as
+// before.
+func (h *Hierarchy) InitShard(classifier bool) {
+	if !classifier {
+		h.shard = nil
+		return
+	}
+	if h.shard != nil {
+		h.ShardEpochReset()
+		return
+	}
+	s := &shardState{
+		installed: make([]*lineset.Set, h.cfg.Cores),
+		claimed:   make([]*lineset.Set, h.cfg.Cores),
+	}
+	for i := 0; i < h.cfg.Cores; i++ {
+		s.installed[i] = lineset.NewSet(256)
+		s.claimed[i] = lineset.NewSet(256)
+	}
+	h.shard = s
+}
+
+// ShardClassifier reports whether the ownership classifier is armed.
+func (h *Hierarchy) ShardClassifier() bool { return h.shard != nil }
+
+// ShardEpochReset clears the epoch-scoped classifier tables. The engine
+// calls it at every epoch boundary, after the ownership deltas have been
+// replayed into the live directory.
+func (h *Hierarchy) ShardEpochReset() {
+	s := h.shard
+	if s == nil {
+		return
+	}
+	for i := range s.installed {
+		s.installed[i].Clear()
+		s.claimed[i].Clear()
+	}
+}
+
+// ApplyShardDelta replays one ownership delta at an epoch boundary. The
+// engine calls it on the coordinator in (cycle, thread, sequence) order
+// with Hierarchy.Now set to the originating cycle, so directory state
+// evolves deterministically and independently of the worker count.
+func (h *Hierarchy) ApplyShardDelta(core int, op uint8, la uint64) {
+	switch op {
+	case MDLoadShare:
+		dir := h.l3.lookup(la)
+		if dir == nil {
+			// Evicted by an earlier boundary op this epoch: reinstall to
+			// keep L3 inclusive of the local fill the core performed.
+			dir = h.installL3(la)
+		}
+		if dir.owner >= 0 && int(dir.owner) != core {
+			// A peer claimed the line earlier in this boundary; the shared
+			// read forces the downgrade/writeback the classic engine would
+			// perform.
+			dir.owner = -1
+			h.Stats.C2CTransfers++
+			h.Stats.Writebacks++
+		}
+		dir.sharers |= bit(core)
+	case MDStoreClaim:
+		dir := h.l3.lookup(la)
+		if dir == nil {
+			dir = h.installL3(la)
+		}
+		if dir.owner >= 0 && int(dir.owner) != core {
+			h.Stats.C2CTransfers++
+		}
+		h.invalidatePeers(core, la, dir)
+		dir.owner = int8(core)
+		dir.sharers = bit(core)
+	case MDVictimWB:
+		if dir := h.l3.peekLine(la); dir != nil && int(dir.owner) == core {
+			dir.owner = -1
+			h.Stats.Writebacks++
+		}
+	}
 }
 
 // View is a read-only window onto a Memory with private page-resolution
@@ -75,13 +194,16 @@ func (v *View) Read(addr uint64) int64 {
 	return p[wordIndex(addr)]
 }
 
-// LocalLoad attempts the private-cache portion of a load by core: an L1
-// hit, or an L2 hit with an L1 fill. It returns the access latency and
-// true if the load completed without touching the L3/directory, or (0,
-// false) if the access must be parked for the epoch boundary. Counters go
-// to stats (merged into Hierarchy.Stats at region end); eviction hooks
-// fire inline (they are shard-safe by contract) and their recorder events
-// are buffered through sink.
+// LocalLoad attempts the shard-local portion of a load by core: an L1
+// hit, an L2 hit with an L1 fill, or — with the ownership classifier
+// armed — an L3 access whose frozen directory state proves no foreign
+// coherence action is needed (no foreign owner, or a clean full miss),
+// served against the private caches with the directory transition
+// deferred as an ownership delta. It returns the access latency and true
+// if the load completed, or (0, false) if the access must be parked for
+// the epoch boundary. Counters go to stats (merged into Hierarchy.Stats
+// at region end); eviction hooks fire inline (they are shard-safe by
+// contract) and their recorder events are buffered through sink.
 //
 //rtm:hot
 func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
@@ -103,36 +225,152 @@ func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSin
 		h.localFillL1(core, la, stats, sink)
 		return h.cfg.Lat.L2Hit, true
 	}
-	return 0, false
+	s := h.shard
+	if s == nil || sink == nil || h.Hooks.OnL2Evict != nil {
+		// Classifier off, or the L2-ablation eviction hook is wired (it
+		// is not shard-safe, so no local L2 fills): park for the boundary.
+		return 0, false
+	}
+	dir := h.l3.peekLine(la)
+	if dir != nil && dir.owner >= 0 && int(dir.owner) != core {
+		// Dirty in a peer's cache: the forward and downgrade must
+		// serialize at the boundary.
+		return 0, false
+	}
+	inL3 := dir != nil || s.installed[core].Contains(la)
+	if !inL3 && h.cfg.Lat.MemBandwidthGap != 0 {
+		// The DRAM channel queue is boundary-serial state.
+		return 0, false
+	}
+	stats.L1Accesses++
+	stats.L2Accesses++
+	stats.L3Accesses++
+	lat := h.cfg.Lat.L3Hit
+	if inL3 {
+		stats.L3Hits++
+	} else {
+		stats.MemAccesses++
+		lat = h.cfg.Lat.Mem
+		s.installed[core].Add(la)
+	}
+	h.localFillL2(core, la, stats, sink)
+	h.localFillL1(core, la, stats, sink)
+	sink.DeferMemDelta(MDLoadShare, la)
+	return lat, true
 }
 
-// LocalStore attempts the private portion of a store by core: the line
-// must be present in L1 or L2 and already exclusively owned (directory
-// owner == core with no other sharers), so no coherence action is needed.
-// Returns (latency, true) on success or (0, false) if the store must be
-// parked. The caller is responsible for buffering the value (the backing
-// store is frozen mid-epoch).
+// LocalStore attempts the shard-local portion of a store by core. The
+// PR 5 class — present in L1/L2 and already exclusively owned — needs no
+// directory transition at all. With the ownership classifier armed, three
+// wider classes complete locally with the exclusive claim deferred as an
+// ownership delta: a silent E->M upgrade of a line whose frozen state
+// shows no foreign copy, a store hitting the frozen L3 on a line private
+// to this core, and a clean full miss. Returns (latency, true) on success
+// or (0, false) if the store must be parked. The caller is responsible
+// for buffering the value (the backing store is frozen mid-epoch).
 //
 //rtm:hot
 func (h *Hierarchy) LocalStore(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
 	la := LineAddr(addr)
 	l1 := h.l1[core].lookup(la) != nil
-	if !l1 && h.l2[core].lookup(la) == nil {
+	l2 := !l1 && h.l2[core].lookup(la) != nil
+	dir := h.l3.peekLine(la)
+	s := h.shard
+	if l1 || l2 {
+		claim := false
+		if dir == nil || int(dir.owner) != core || dir.sharers != bit(core) {
+			// Not frozen-exclusive: a directory transition is needed. The
+			// classifier can still serve it when frozen state shows no
+			// foreign copy (a nil dir means this core installed the line
+			// this epoch — inclusivity leaves no other way it could be in
+			// a private cache).
+			if s == nil || sink == nil {
+				return 0, false
+			}
+			if dir != nil && (dir.sharers&^bit(core) != 0 || (dir.owner >= 0 && int(dir.owner) != core)) {
+				return 0, false
+			}
+			claim = true
+		}
+		stats.L1Accesses++
+		var cost uint64
+		if l1 {
+			stats.L1Hits++
+			cost = h.cfg.Lat.L1Hit
+		} else {
+			stats.L2Accesses++
+			stats.L2Hits++
+			h.localFillL1(core, la, stats, sink)
+			cost = h.cfg.Lat.L2Hit
+		}
+		if claim && s.claimed[core].Add(la) {
+			sink.DeferMemDelta(MDStoreClaim, la)
+		}
+		return cost, true
+	}
+	if s == nil || sink == nil || h.Hooks.OnL2Evict != nil {
 		return 0, false
 	}
-	dir := h.l3.peekLine(la)
-	if dir == nil || int(dir.owner) != core || dir.sharers != bit(core) {
-		return 0, false // needs a directory transition: park it
+	// Store miss in the private caches: serveable only when frozen state
+	// proves the line private — no foreign sharer or owner, or absent
+	// from L3 entirely (a clean full miss, or installed by this core this
+	// epoch).
+	if dir != nil && (dir.sharers&^bit(core) != 0 || (dir.owner >= 0 && int(dir.owner) != core)) {
+		return 0, false
+	}
+	inL3 := dir != nil || s.installed[core].Contains(la)
+	if !inL3 && h.cfg.Lat.MemBandwidthGap != 0 {
+		return 0, false
 	}
 	stats.L1Accesses++
-	if l1 {
-		stats.L1Hits++
-		return h.cfg.Lat.L1Hit, true
-	}
 	stats.L2Accesses++
-	stats.L2Hits++
+	stats.L3Accesses++
+	cost := h.cfg.Lat.L3Hit
+	if inL3 {
+		stats.L3Hits++
+	} else {
+		stats.MemAccesses++
+		cost = h.cfg.Lat.Mem
+		s.installed[core].Add(la)
+	}
+	h.localFillL2(core, la, stats, sink)
 	h.localFillL1(core, la, stats, sink)
-	return h.cfg.Lat.L2Hit, true
+	s.claimed[core].Add(la)
+	sink.DeferMemDelta(MDStoreClaim, la)
+	return cost, true
+}
+
+// localFillL2 is fillL2 for the shard-local path: stats go to the
+// per-thread staging struct, recorder traffic through the sink, and the
+// victim's directory owner-clear (the modified-line writeback) is
+// deferred as an ownership delta. Only reachable with Hooks.OnL2Evict
+// nil — the L2-ablation hook is not shard-safe.
+//
+//rtm:hot
+func (h *Hierarchy) localFillL2(core int, la uint64, stats *Stats, sink ShardSink) {
+	victim, evicted, _ := h.l2[core].insert(la)
+	if !evicted {
+		return
+	}
+	stats.L2Evictions++
+	// L2 is inclusive of L1 in this model: cascade the eviction.
+	if h.l1[core].drop(victim) {
+		if h.Rec != nil {
+			sink.DeferMemEvent(core, obs.KL1Evict, victim)
+		}
+		if h.Hooks.OnL1Evict != nil {
+			h.Hooks.OnL1Evict(core, victim)
+		}
+	}
+	if h.Rec != nil {
+		sink.DeferMemEvent(core, obs.KL2Evict, victim)
+	}
+	// If this core owns the victim (per frozen state or an epoch-local
+	// claim), the writeback's owner-clear must replay at the boundary.
+	if dir := h.l3.peekLine(victim); (dir != nil && int(dir.owner) == core) ||
+		h.shard.claimed[core].Contains(victim) {
+		sink.DeferMemDelta(MDVictimWB, victim)
+	}
 }
 
 // localFillL1 is fillL1 for the shard-local path: stats go to the
@@ -171,4 +409,25 @@ func (h *Hierarchy) DirOwner(la uint64) int {
 		return int(dir.owner)
 	}
 	return -1
+}
+
+// DirPrivate reports whether la's frozen directory state shows it held
+// by core alone: present with core as the only sharer, and no foreign
+// owner. Peek-only — safe mid-epoch.
+//
+//rtm:hot
+func (h *Hierarchy) DirPrivate(core int, la uint64) bool {
+	dir := h.l3.peekLine(la)
+	return dir != nil && dir.sharers == bit(core) &&
+		(dir.owner < 0 || int(dir.owner) == core)
+}
+
+// DirExclusive reports whether la's frozen directory state shows core as
+// its exclusive modified-state holder: owner==core with no other sharer.
+// Peek-only — safe mid-epoch.
+//
+//rtm:hot
+func (h *Hierarchy) DirExclusive(core int, la uint64) bool {
+	dir := h.l3.peekLine(la)
+	return dir != nil && int(dir.owner) == core && dir.sharers == bit(core)
 }

@@ -22,6 +22,23 @@ type Collector struct {
 	exps []string
 	recs []*Recorder
 	subs map[[2]int]int // (exp, point) -> next sub index
+
+	// Run configuration stamped into the timing sidecars (see
+	// SetRunConfig); zero values mean the classic serial engine.
+	shards       int
+	epochCycles  uint64
+	noClassifier bool
+}
+
+// SetRunConfig records the engine configuration of the run so the
+// timing sidecars are self-describing: shards and the effective epoch
+// length in simulated cycles, plus whether the ownership classifier was
+// disabled. Host wall-clock depends on all three, so a sidecar without
+// them cannot be compared across runs.
+func (c *Collector) SetRunConfig(shards int, epochCycles uint64, noClassifier bool) {
+	c.shards = shards
+	c.epochCycles = epochCycles
+	c.noClassifier = noClassifier
 }
 
 // NewCollector returns a collector whose recorders keep at most limit

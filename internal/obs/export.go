@@ -47,12 +47,26 @@ type SiteJSON struct {
 	Wasted  map[string]uint64 `json:"wasted_cycles,omitempty"`
 }
 
+// ShardingJSON is the derived sharded-engine block of one recorder:
+// ratios computed from the sim:* counters that tell how much of the
+// point's work left the epoch-parallel phase. SerialFraction is the
+// share of memory operations resolved at epoch boundaries —
+// boundary_ops / (boundary_ops + local_ops) — the serial fraction the
+// ownership classifier exists to shrink.
+type ShardingJSON struct {
+	Epochs              uint64  `json:"epochs"`
+	ParksPerEpoch       float64 `json:"parks_per_epoch"`
+	BoundaryOpsPerEpoch float64 `json:"boundary_ops_per_epoch"`
+	SerialFraction      float64 `json:"serial_fraction"`
+}
+
 // RecorderJSON is the sidecar form of one recorder.
 type RecorderJSON struct {
 	Label    string              `json:"label"`
 	Events   map[string]uint64   `json:"events,omitempty"`
 	Dropped  uint64              `json:"dropped_events,omitempty"`
 	Counters map[string]uint64   `json:"counters,omitempty"`
+	Sharding *ShardingJSON       `json:"sharding,omitempty"`
 	Hists    map[string]HistJSON `json:"hists,omitempty"`
 	Sites    []SiteJSON          `json:"sites,omitempty"`
 	Wasted   map[string]uint64   `json:"wasted_cycles,omitempty"`
@@ -95,6 +109,19 @@ func (r *Recorder) Summary() RecorderJSON {
 		for k, v := range r.counters {
 			out.Counters[k] = v
 		}
+	}
+	if ep := r.counters["sim:epochs"]; ep > 0 {
+		bo := r.counters["sim:boundary.ops"]
+		lo := r.counters["sim:local.ops"]
+		sh := &ShardingJSON{
+			Epochs:              ep,
+			ParksPerEpoch:       float64(r.counters["sim:parks.op"]) / float64(ep),
+			BoundaryOpsPerEpoch: float64(bo) / float64(ep),
+		}
+		if bo+lo > 0 {
+			sh.SerialFraction = float64(bo) / float64(bo+lo)
+		}
+		out.Sharding = sh
 	}
 	hists := map[string]*Hist{
 		"tx_cycles":       &r.TxCycles,
@@ -140,11 +167,17 @@ type TimingJSON struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
 }
 
-// TimingDoc is one experiment's timing sidecar document.
+// TimingDoc is one experiment's timing sidecar document. The engine
+// configuration (shards, effective epoch length, classifier) is embedded
+// because host wall-clock depends on it: a timing sidecar that does not
+// say what engine produced it cannot be compared across runs.
 type TimingDoc struct {
-	Schema     string       `json:"schema"`
-	Experiment string       `json:"experiment"`
-	Points     []TimingJSON `json:"points"`
+	Schema       string       `json:"schema"`
+	Experiment   string       `json:"experiment"`
+	Shards       int          `json:"shards,omitempty"`
+	EpochCycles  uint64       `json:"epoch_cycles,omitempty"`
+	NoClassifier bool         `json:"no_classifier,omitempty"`
+	Points       []TimingJSON `json:"points"`
 }
 
 // expGroup is one experiment scope's recorders in merge order.
@@ -245,6 +278,9 @@ func (c *Collector) WriteMetrics(dir string) error {
 			return err
 		}
 		if td := g.timing(); len(td.Points) > 0 {
+			td.Shards = c.shards
+			td.EpochCycles = c.epochCycles
+			td.NoClassifier = c.noClassifier
 			data, err := json.MarshalIndent(td, "", "  ")
 			if err != nil {
 				return err
@@ -288,6 +324,10 @@ func writeRecorderSummary(w io.Writer, r RecorderJSON) {
 			line += fmt.Sprintf(" (%d dropped)", r.Dropped)
 		}
 		fmt.Fprintln(w, line)
+	}
+	if s := r.Sharding; s != nil {
+		fmt.Fprintf(w, "  sharding: epochs %d, parks/epoch %.2f, boundary-ops/epoch %.2f, serial fraction %.4f\n",
+			s.Epochs, s.ParksPerEpoch, s.BoundaryOpsPerEpoch, s.SerialFraction)
 	}
 	for _, name := range sortedKeys(r.Hists) {
 		h := r.Hists[name]

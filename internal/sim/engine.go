@@ -440,6 +440,16 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 		rec.Add("sim:regions", 1)
 		if se != nil {
 			rec.Add("sim:epochs", se.epochs)
+			rec.Add("sim:boundary.ops", se.boundaryOps)
+			var opParks, localOps, localClaims uint64
+			for _, p := range e.procs {
+				opParks += p.sh.opParks
+				localOps += p.sh.localOps
+				localClaims += p.sh.localClaims
+			}
+			rec.Add("sim:parks.op", opParks)
+			rec.Add("sim:local.ops", localOps)
+			rec.Add("sim:slice.claims", localClaims)
 		}
 		// Thread clocks restart at zero every region; rebase the
 		// recorder's timeline so the next region's events follow this one.

@@ -63,6 +63,9 @@ const (
 	// DefCustom is layer-defined and always dispatched to ShardApply
 	// (the HTM layer uses it for conflict-directory probes).
 	DefCustom
+	// DefMemDelta replays an ownership delta from the classifier (Op is
+	// the mem.MD* opcode, Addr the line) via Hierarchy.ApplyShardDelta.
+	DefMemDelta
 )
 
 // ShardDef is one deferred operation, logged during the parallel phase
@@ -131,7 +134,10 @@ type procShard struct {
 	// TM layers' abort-by-panic control flow.
 	panicVal any
 
-	parks uint64
+	parks       uint64 // total parks (op parks + epoch-end yield parks)
+	opParks     uint64 // parks caused by a synchronous op awaiting its boundary
+	localOps    uint64 // memory ops served inside the epoch without parking
+	localClaims uint64 // TM conflict claims resolved in a shard-local directory slice
 
 	finishFn func()
 }
@@ -151,6 +157,9 @@ type shardEngine struct {
 	done     chan struct{}
 	order    []boundaryRef // boundary scratch, reused across epochs
 	epochs   uint64
+	// boundaryOps counts operations replayed serially at boundaries (the
+	// serial fraction's numerator, exported as sim:boundary.ops).
+	boundaryOps uint64
 }
 
 type boundaryRef struct {
@@ -184,6 +193,7 @@ func newShardEngine(e *Engine) *shardEngine {
 		epochLen: cfg.Shard.Epoch(),
 		done:     make(chan struct{}, nw),
 	}
+	e.H.InitShard(cfg.Shard.Classifier())
 	se.end = se.epochLen
 	for i := 0; i < nw; i++ {
 		se.workers = append(se.workers, &shardWorker{
@@ -313,6 +323,7 @@ func (se *shardEngine) boundary() {
 		}
 	}
 	slices.SortFunc(ord, cmpBoundaryRef)
+	se.boundaryOps += uint64(len(ord))
 	for i := range ord {
 		r := &ord[i]
 		p := e.procs[r.tid]
@@ -323,6 +334,9 @@ func (se *shardEngine) boundary() {
 		}
 	}
 	se.order = ord[:0]
+	// The ownership deltas are in the live directory now; the next epoch's
+	// classifier tables seed afresh from the frozen state.
+	e.H.ShardEpochReset()
 	// Consume the applied prefix of each def log; once a thread's log is
 	// drained its buffered stores are all in the backing store and the
 	// write buffer can be cleared.
@@ -363,6 +377,7 @@ func (se *shardEngine) flushRemaining() {
 		}
 	}
 	slices.SortFunc(ord, cmpBoundaryRef)
+	se.boundaryOps += uint64(len(ord))
 	for i := range ord {
 		r := &ord[i]
 		p := se.e.procs[r.tid]
@@ -421,6 +436,8 @@ func (se *shardEngine) applyDef(p *Proc, d *ShardDef) {
 		if ap := se.e.ShardApply; ap != nil {
 			ap(p, d)
 		}
+	case DefMemDelta:
+		h.ApplyShardDelta(p.core, d.Op, d.Addr)
 	case DefTouch:
 		h.Touch(p.core, d.Addr)
 	case DefMemEvent:
@@ -505,6 +522,17 @@ func (p *Proc) ShardEpoch() uint64 {
 	return p.sh.w.se.epochs
 }
 
+// ShardLocalClaim records a TM conflict claim resolved inside the epoch
+// by a shard-local directory slice (no deferred boundary replay),
+// exported as sim:slice.claims. No-op under the classic engine.
+//
+//rtm:hot
+func (p *Proc) ShardLocalClaim() {
+	if p.sh != nil {
+		p.sh.localClaims++
+	}
+}
+
 // ShardActive reports whether the sharded engine is in the parallel
 // phase of an epoch: shared simulated state is frozen and must not be
 // mutated. In every other context (classic engine, epoch boundary,
@@ -567,6 +595,15 @@ func (p *Proc) DeferMemEvent(core int, kind obs.Kind, lineAddr uint64) {
 	p.pushDef(ShardDef{Kind: DefMemEvent, Ev: obs.Event{
 		Cycle: p.clock, Arg: lineAddr, Site: -1, Aux: int32(core), Kind: kind,
 	}})
+}
+
+// DeferMemDelta implements mem.ShardSink: an ownership delta from the
+// classifier is buffered and replayed at the boundary in (cycle, thread,
+// sequence) order.
+//
+//rtm:hot
+func (p *Proc) DeferMemDelta(op uint8, lineAddr uint64) {
+	p.pushDef(ShardDef{Kind: DefMemDelta, Op: op, Addr: lineAddr})
 }
 
 //rtm:hot
@@ -641,6 +678,7 @@ func (p *Proc) shardParkOp(kind uint8, addr uint64, val int64, fn func()) int64 
 	ps.opRet = 0
 	ps.status = shOpWait
 	ps.parks++
+	ps.opParks++
 	ps.w.idle <- struct{}{}
 	<-p.rsm
 	if v := ps.panicVal; v != nil {
@@ -681,6 +719,7 @@ func (p *Proc) shardLoad(addr uint64) int64 {
 	if c, ok := p.eng.H.LocalLoad(p.core, addr, &ps.stats, p); ok {
 		p.instr++
 		p.clock += p.scale(c)
+		ps.localOps++
 		v := p.shardRead(addr)
 		p.shardYield()
 		return v
@@ -698,6 +737,7 @@ func (p *Proc) shardStore(addr uint64, val int64) {
 	if c, ok := p.eng.H.LocalStore(p.core, addr, &ps.stats, p); ok {
 		p.instr++
 		p.clock += p.scale(c)
+		ps.localOps++
 		ps.wbuf.Put(addr, val)
 		p.pushDef(ShardDef{Kind: DefStore, Addr: addr, Val: val})
 		p.shardYield()
@@ -712,7 +752,9 @@ func (p *Proc) shardStore(addr uint64, val int64) {
 func (p *Proc) shardLoadOverlapped(addr uint64) int64 {
 	p.shardPreOp()
 	ps := p.sh
-	if _, ok := p.eng.H.LocalLoad(p.core, addr, &ps.stats, p); !ok {
+	if _, ok := p.eng.H.LocalLoad(p.core, addr, &ps.stats, p); ok {
+		ps.localOps++
+	} else {
 		// Not locally cached: the cache-state work happens at the
 		// boundary; the latency is overlapped either way.
 		p.pushDef(ShardDef{Kind: DefTouch, Addr: addr})
@@ -731,6 +773,7 @@ func (p *Proc) shardStoreTiming(addr uint64) {
 	if c, ok := p.eng.H.LocalStore(p.core, addr, &ps.stats, p); ok {
 		p.instr++
 		p.clock += p.scale(c)
+		ps.localOps++
 		p.shardYield()
 		return
 	}
@@ -746,6 +789,7 @@ func (p *Proc) shardTouch(addr uint64) {
 	if c, ok := p.eng.H.LocalLoad(p.core, addr, &ps.stats, p); ok {
 		p.instr++
 		p.clock += p.scale(c)
+		ps.localOps++
 		p.shardYield()
 		return
 	}

@@ -90,13 +90,16 @@ func (l *Labyrinth) Parallel(sys *tm.System, threads int, seed uint64) {
 	l.priv = make([]uint64, threads)
 	routed := make([][]int64, threads)
 	failed := make([]int, threads)
-	nextID := int64(0)
 
 	sys.Run(threads, seed, func(c *tm.Ctx) {
 		tid := c.P.ID()
 		if l.priv[tid] == 0 {
 			l.priv[tid] = c.Alloc(l.cells())
 		}
+		// Path ids only need to be unique and positive, so each thread
+		// mints them in its own space — a shared Go-side counter here
+		// would race between engine shards.
+		nextID := int64(0)
 		for {
 			var pair int64
 			var ok bool
@@ -108,7 +111,7 @@ func (l *Labyrinth) Parallel(sys *tm.System, threads int, seed uint64) {
 			}
 			src, dst := unpackPair(pair)
 			nextID++
-			id := nextID
+			id := int64(tid+1)<<32 | nextID
 			success := false
 			c.AtomicSite("route", func(t tm.Tx) {
 				success = l.route(c, t, tid, src, dst, id)

@@ -24,11 +24,12 @@ type Yada struct {
 	CavDepth int // cavity = neighbourhood of this BFS depth
 
 	mesh     uint64 // element arena base
-	elems    int64  // number of allocated elements (Go-side mirror)
+	elems    int64  // committed element count (updated after Parallel)
 	elemCap  int
 	workHeap ds.Heap
 	badLeft  int64
-	arena    []uint64 // element record addresses by id
+	arena    []uint64 // element record addresses by id (fixed in Setup)
+	grewOut  bool     // some thread exhausted its id region
 
 	processed int64
 	created   int64
@@ -64,12 +65,19 @@ func (y *Yada) Name() string { return "yada" }
 func (y *Yada) Setup(c *tm.Ctx, seed uint64) {
 	r := rng.New(seed * 6151)
 	y.elemCap = y.Initial + y.MaxNew + 64
-	y.arena = make([]uint64, 0, y.elemCap)
 	y.processed = 0
 	y.created = 0
+	y.grewOut = false
 
-	for i := 0; i < y.Initial; i++ {
-		y.arena = append(y.arena, c.Alloc(eWords))
+	// The whole arena — initial mesh plus every element refinement may
+	// ever create — is allocated up front, so the id→address table is
+	// immutable during Parallel: threads on different engine shards read
+	// it concurrently, and a Go-side append there could neither be shared
+	// safely nor rolled back on abort. Fresh heap reads as zero, so the
+	// not-yet-created tail is uniformly dead (alive=0).
+	y.arena = make([]uint64, y.elemCap)
+	for i := range y.arena {
+		y.arena[i] = c.Alloc(eWords)
 	}
 	y.elems = int64(y.Initial)
 	// Ring topology plus random chords.
@@ -108,10 +116,18 @@ func (y *Yada) Setup(c *tm.Ctx, seed uint64) {
 func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 	processed := make([]int64, threads)
 	created := make([]int64, threads)
+	grew := make([]bool, threads)
 
 	sys.Run(threads, seed, func(c *tm.Ctx) {
 		tid := c.P.ID()
 		newBadProb := 0.22
+		// Each thread creates elements out of its own slice of the
+		// pre-allocated id space (mirroring STAMP's thread-local element
+		// allocator): no shared allocation state to race on at the Go
+		// level, and nothing to roll back when an attempt aborts — the
+		// cursor only advances after the transaction commits.
+		idNext := int64(y.Initial + tid*y.MaxNew/threads)
+		idEnd := int64(y.Initial + (tid+1)*y.MaxNew/threads)
 		for {
 			var id int64
 			var ok bool
@@ -122,8 +138,10 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 				break
 			}
 			refined := false
+			allocated := int64(0)
 			c.AtomicSite("refine", func(t tm.Tx) {
 				refined = false
+				allocated = 0
 				rec := y.arena[id]
 				if t.Load(rec+eAlive*arch.WordSize) == 0 || t.Load(rec+eBad*arch.WordSize) == 0 {
 					return // already retired by an overlapping cavity
@@ -152,8 +170,9 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 					}
 					frontier = next
 				}
-				if int(y.elems)+len(cavity) >= y.elemCap {
-					return // growth bound: stop refining this element
+				if idNext+int64(len(cavity)) > idEnd {
+					grew[tid] = true
+					return // growth bound: this thread's id region is full
 				}
 				// Boundary = alive neighbours of the cavity outside it.
 				var boundary []int64
@@ -178,12 +197,7 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 				nNew := len(cavity)
 				newIDs := make([]int64, 0, nNew)
 				for k := 0; k < nNew; k++ {
-					nid := y.elems
-					y.elems++
-					newRec := c.Alloc(eWords)
-					y.arena = append(y.arena, newRec)
-					newIDs = append(newIDs, nid)
-					created[tid]++
+					newIDs = append(newIDs, idNext+int64(k))
 				}
 				for k, nid := range newIDs {
 					rec := y.arena[nid]
@@ -218,17 +232,24 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 						y.workHeap.Push(t, c, nid, nid)
 					}
 				}
+				allocated = int64(nNew)
 				refined = true
 			})
 			if refined {
 				processed[tid]++
+				created[tid] += allocated
+				idNext += allocated
 			}
 		}
 	})
 	for tid := 0; tid < threads; tid++ {
 		y.processed += processed[tid]
 		y.created += created[tid]
+		if grew[tid] {
+			y.grewOut = true
+		}
 	}
+	y.elems = int64(y.Initial) + y.created
 }
 
 // rewire replaces a dead (or empty) neighbour slot of element e with nid.
@@ -257,12 +278,13 @@ func (y *Yada) Validate(sys *tm.System) error {
 	if y.processed == 0 {
 		return errf("yada: nothing refined")
 	}
-	if int64(len(y.arena)) != y.elems {
-		return errf("yada: arena %d != elems %d", len(y.arena), y.elems)
+	if y.elems > int64(len(y.arena)) {
+		return errf("yada: elems %d exceeds arena %d", y.elems, len(y.arena))
 	}
-	grewOut := int(y.elems) >= y.elemCap-eDeg-1
+	// Ids are handed out in per-thread regions, so the live set is sparse
+	// in [0, elemCap): walk the whole arena and let alive flags select.
 	aliveBad := 0
-	for id := int64(0); id < y.elems; id++ {
+	for id := int64(0); id < int64(len(y.arena)); id++ {
 		rec := y.arena[id]
 		alive := m.Load(rec + eAlive*arch.WordSize)
 		if alive == 0 {
@@ -277,12 +299,12 @@ func (y *Yada) Validate(sys *tm.System) error {
 		}
 		for j := int64(0); j < n; j++ {
 			nb := m.Load(rec + uint64(eNbr0+int(j))*arch.WordSize)
-			if nb >= y.elems {
+			if nb >= int64(len(y.arena)) {
 				return errf("yada: element %d links to unknown %d", id, nb)
 			}
 		}
 	}
-	if aliveBad > 0 && !grewOut {
+	if aliveBad > 0 && !y.grewOut {
 		return errf("yada: %d bad elements left alive with work heap drained", aliveBad)
 	}
 	return nil

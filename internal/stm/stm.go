@@ -54,6 +54,9 @@ const (
 	ReasonNone Reason = iota
 	ReasonLocked
 	ReasonValidation
+	// ReasonFault marks an attempt torn down because its body raised a
+	// runtime fault on an inconsistent (doomed) read view; see Txn.Fault.
+	ReasonFault
 )
 
 func (r Reason) String() string {
@@ -62,17 +65,21 @@ func (r Reason) String() string {
 		return "locked"
 	case ReasonValidation:
 		return "validation"
+	case ReasonFault:
+		return "fault"
 	default:
 		return "none"
 	}
 }
 
-// ObsCause maps a Reason onto the unified abort-cause taxonomy.
+// ObsCause maps a Reason onto the unified abort-cause taxonomy. A fault
+// is the visible symptom of a stale view that validation would have
+// rejected, so it classifies as a validation abort.
 func (r Reason) ObsCause() obs.Cause {
 	switch r {
 	case ReasonLocked:
 		return obs.CauseLocked
-	case ReasonValidation:
+	case ReasonValidation, ReasonFault:
 		return obs.CauseValidation
 	default:
 		return obs.CauseNone
@@ -211,6 +218,26 @@ func (t *Txn) Begin() {
 // the shard parallel phase the lock-release stores are buffered and land
 // at the boundary in cycle order — before any retry's acquisitions.
 func (t *Txn) abort(reason Reason) {
+	t.rollback(reason)
+	panic(Abort{Reason: reason})
+}
+
+// Fault tears the active transaction down after its body raised a
+// runtime fault, without unwinding further: under the sharded engine an
+// attempt can read mixed-epoch state that commit-time validation would
+// reject, and crash in workload code before reaching that validation.
+// Returns the abort the caller should treat as recovered, or ok=false —
+// caller should propagate the fault — when no transaction was in flight.
+func (t *Txn) Fault() (a Abort, ok bool) {
+	if !t.active {
+		return Abort{}, false
+	}
+	t.rollback(ReasonFault)
+	return Abort{Reason: ReasonFault}, true
+}
+
+// rollback is abort without the unwind: release locks, count, back off.
+func (t *Txn) rollback(reason Reason) {
 	s := t.sys
 	for _, oe := range t.owned {
 		t.proc.Store(oe.lockAddr, versionWord(oe.version))
@@ -243,7 +270,6 @@ func (t *Txn) abort(reason Reason) {
 		}
 	}
 	t.proc.AddCycles(backoff)
-	panic(Abort{Reason: reason})
 }
 
 // validate checks that every read entry is still consistent at this
@@ -357,6 +383,19 @@ func (t *Txn) Store(addr uint64, val int64) {
 	}
 	t.sAddr = lockAddr
 	if t.proc.ShardActive() {
+		// Locked-abort fast path (ownership classifier): when the epoch
+		// view already shows a holder, the acquisition is doomed under
+		// this epoch's frozen state — abort right here with the same
+		// timed lock-word read acquireSlow would charge, instead of
+		// parking the whole attempt for the boundary. A holder that
+		// releases at an earlier boundary slot would have let the parked
+		// CAS win; the local abort trades that near-miss for keeping the
+		// spin-retry loop (backoff, re-read of the cached lock line)
+		// entirely inside the epoch.
+		if s.cfg.Shard.Classifier() && isLocked(t.proc.PeekShared(lockAddr)) {
+			t.proc.Load(lockAddr)
+			t.abort(ReasonLocked)
+		}
 		// The CAS needs Peek+Store atomicity against the live lock word;
 		// park it as an exclusive boundary op (acquireSlow, unchanged).
 		t.proc.Exclusive(t.acquireFn)

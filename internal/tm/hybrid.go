@@ -66,14 +66,7 @@ func (c *Ctx) atomicHybrid(body func(t Tx)) {
 func (c *Ctx) tryHybridHTM(body func(t Tx)) (abort *htm.Abort) {
 	defer func() {
 		if r := recover(); r != nil {
-			if a, is := r.(htm.Abort); is {
-				c.noteSiteAbort(a.Cause.String())
-				c.emit(trace.KindAbort, a.Cause.String())
-				c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
-				abort = &a
-				return
-			}
-			panic(r)
+			c.recoverHTM(r, &abort)
 		}
 	}()
 	c.resetFrees()

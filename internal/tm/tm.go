@@ -680,14 +680,27 @@ func (c *Ctx) atomicSTM(body func(t Tx)) {
 		done := func() (ok bool) {
 			defer func() {
 				if r := recover(); r != nil {
-					if a, is := r.(stm.Abort); is {
-						c.noteSiteAbort(a.Reason.String())
-						c.emit(trace.KindAbort, a.Reason.String())
-						c.obsAbort(a.Reason.ObsCause(), 0, -1)
-						ok = false
-						return
+					a, is := r.(stm.Abort)
+					if !is {
+						// Sharded engine: a doomed attempt can fault in
+						// workload code on a mixed-epoch view before
+						// commit-time validation rejects it; squash the
+						// fault into the abort (see recoverHTM).
+						if !c.P.Sharded() {
+							panic(r)
+						}
+						fa, fok := c.stx.Fault()
+						if !fok {
+							panic(r)
+						}
+						c.cnt().Inc("tm:fault.sandbox")
+						a = fa
 					}
-					panic(r)
+					c.noteSiteAbort(a.Reason.String())
+					c.emit(trace.KindAbort, a.Reason.String())
+					c.obsAbort(a.Reason.ObsCause(), 0, -1)
+					ok = false
+					return
 				}
 			}()
 			c.resetFrees()
@@ -746,18 +759,41 @@ func (c *Ctx) atomicHTM(body func(t Tx), bare bool) {
 	c.obsCommit(retries)
 }
 
+// recoverHTM is the shared recovery for one hardware attempt: an
+// htm.Abort panic becomes the returned abort. Under the sharded engine a
+// runtime fault raised by the body is squashed into an abort too — a
+// doomed attempt can observe mixed-epoch state after the conflict that
+// kills it (the classic engine delivers the abort eagerly, the sharded
+// one at the next TM operation) and crash in workload code first. That
+// matches hardware, where any synchronous exception inside a
+// transactional region aborts it and the fault only reaches the OS if
+// the non-speculative re-execution repeats it; here the fallback paths
+// run the body non-speculatively, so a genuine workload bug still
+// crashes. Faults under the classic engine (which is opaque) propagate.
+func (c *Ctx) recoverHTM(r any, abort **htm.Abort) {
+	a, is := r.(htm.Abort)
+	if !is {
+		if !c.P.Sharded() {
+			panic(r)
+		}
+		fa, ok := c.htx.Fault()
+		if !ok {
+			panic(r)
+		}
+		c.cnt().Inc("tm:fault.sandbox")
+		a = fa
+	}
+	c.noteSiteAbort(a.Cause.String())
+	c.emit(trace.KindAbort, a.Cause.String())
+	c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
+	*abort = &a
+}
+
 // tryHTM makes one hardware attempt; it returns nil on commit.
 func (c *Ctx) tryHTM(body func(t Tx), bare bool) (abort *htm.Abort) {
 	defer func() {
 		if r := recover(); r != nil {
-			if a, is := r.(htm.Abort); is {
-				c.noteSiteAbort(a.Cause.String())
-				c.emit(trace.KindAbort, a.Cause.String())
-				c.obsAbort(obsCause(a.Cause), a.ConflictLine, a.ByThread)
-				abort = &a
-				return
-			}
-			panic(r)
+			c.recoverHTM(r, &abort)
 		}
 	}()
 	c.resetFrees()
