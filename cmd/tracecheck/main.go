@@ -6,6 +6,17 @@
 // gate the observability layer; exits non-zero with a diagnostic on the
 // first violation.
 //
+// Beyond field shape, tracecheck validates the span structure on every
+// hardware-thread track: "begin" instants (one per attempt) must
+// alternate with commit/abort terminator slices — a begin while an
+// attempt is open, a terminator with no open attempt, or an attempt
+// still open at end of track is an orphan and fails the check — and
+// attempt cycles must be monotone (a terminator cannot end before its
+// begin, and track end-cycles never go backwards). A terminator with no
+// begin is tolerated only at the head of a track whose thread_name
+// metadata reports dropped > 0: ring truncation removes the oldest
+// events, so only the leading span may be missing its begin.
+//
 // Usage: tracecheck [-metrics sidecar.json] [-sharded] <trace.json>
 //
 // With -metrics it additionally checks that the given metrics sidecar is
@@ -70,6 +81,8 @@ func main() {
 		fail("%s: empty traceEvents array", path)
 	}
 	counts := map[string]int{}
+	tracks := map[uint64]*trackState{}
+	spanStats := spanTotals{}
 	for i, e := range tf.TraceEvents {
 		counts[e.Ph]++
 		if e.Ph == "" || e.Pid == nil || e.Tid == nil {
@@ -80,10 +93,16 @@ func main() {
 			if e.Name != "process_name" && e.Name != "thread_name" {
 				fail("event %d: unexpected metadata name %q", i, e.Name)
 			}
+			if e.Name == "thread_name" {
+				if d, ok := e.Args["dropped"].(float64); ok && d > 0 {
+					track(tracks, e).dropped = true
+				}
+			}
 		case "X":
 			if e.Ts == nil || e.Dur == nil || e.Name == "" {
 				fail("event %d: slice missing ts/dur/name", i)
 			}
+			checkSpanSlice(track(tracks, e), &spanStats, i, e)
 		case "i":
 			if e.Ts == nil || e.Name == "" {
 				fail("event %d: instant missing ts/name", i)
@@ -95,6 +114,9 @@ func main() {
 					}
 				}
 			}
+			if e.Name == "begin" {
+				checkSpanBegin(track(tracks, e), &spanStats, i, e)
+			}
 		default:
 			fail("event %d: unknown phase %q", i, e.Ph)
 		}
@@ -102,8 +124,109 @@ func main() {
 	if counts["M"] == 0 {
 		fail("no metadata events (process/thread names)")
 	}
-	fmt.Printf("ok: %d events (%d meta, %d slices, %d instants)\n",
-		len(tf.TraceEvents), counts["M"], counts["X"], counts["i"])
+	for key, t := range tracks {
+		if t.open {
+			fail("track pid=%d tid=%d: attempt still open at end of trace (orphan begin at ts=%v)",
+				key>>32, uint32(key), t.beginTs)
+		}
+	}
+	fmt.Printf("ok: %d events (%d meta, %d slices, %d instants; %d begins / %d commits / %d aborts balanced)\n",
+		len(tf.TraceEvents), counts["M"], counts["X"], counts["i"],
+		spanStats.begins, spanStats.commits, spanStats.aborts)
+}
+
+// coreTrackBase mirrors the trace writer: tids at or above it are core
+// memory tracks, which carry no spans.
+const coreTrackBase = 100
+
+// trackState is the per-(pid, tid) span state machine.
+type trackState struct {
+	dropped bool    // thread_name metadata reported ring truncation
+	open    bool    // a begin is awaiting its commit/abort terminator
+	seenAny bool    // a begin or terminator was seen (head-of-track over)
+	beginTs float64 // ts of the open begin
+	lastEnd float64 // maximum end cycle seen (monotonicity)
+}
+
+type spanTotals struct {
+	begins, commits, aborts int
+}
+
+func track(m map[uint64]*trackState, e traceEvent) *trackState {
+	key := uint64(uint32(*e.Pid))<<32 | uint64(uint32(*e.Tid))
+	t, ok := m[key]
+	if !ok {
+		t = &trackState{}
+		m[key] = t
+	}
+	return t
+}
+
+// checkSpanBegin validates one attempt start.
+func checkSpanBegin(t *trackState, s *spanTotals, i int, e traceEvent) {
+	if *e.Tid >= coreTrackBase {
+		fail("event %d: begin instant on a core memory track (tid %d)", i, *e.Tid)
+	}
+	if t.open {
+		fail("event %d: begin at ts=%v while the attempt from ts=%v is still open (orphan attempt)",
+			i, *e.Ts, t.beginTs)
+	}
+	if *e.Ts < t.lastEnd {
+		fail("event %d: begin ts=%v precedes the track's last end cycle %v (non-monotone)",
+			i, *e.Ts, t.lastEnd)
+	}
+	t.open = true
+	t.seenAny = true
+	t.beginTs = *e.Ts
+	s.begins++
+}
+
+// checkSpanSlice validates one commit/abort terminator slice.
+func checkSpanSlice(t *trackState, s *spanTotals, i int, e traceEvent) {
+	if *e.Tid >= coreTrackBase {
+		return
+	}
+	aborted := strings.HasSuffix(e.Name, " (aborted)")
+	end := *e.Ts + *e.Dur
+	if !t.open {
+		// A terminator with no begin is legal only as the head of a
+		// truncated ring: drops remove the oldest events, so only the
+		// leading span can be missing its begin.
+		if !(t.dropped && !t.seenAny) {
+			fail("event %d: %s slice at ts=%v with no open attempt (orphan terminator)",
+				i, sliceKind(aborted), *e.Ts)
+		}
+	} else {
+		if end < t.beginTs {
+			fail("event %d: %s slice ends at %v before its begin at %v (non-monotone span)",
+				i, sliceKind(aborted), end, t.beginTs)
+		}
+		if aborted && *e.Ts+1e-9 < t.beginTs {
+			// Abort slices cover exactly one attempt, so they start at the
+			// begin. Commit slices start at the block start, which precedes
+			// the final attempt's begin when there were retries.
+			fail("event %d: abort slice starts at %v before its begin at %v", i, *e.Ts, t.beginTs)
+		}
+	}
+	if end < t.lastEnd {
+		fail("event %d: slice end %v precedes the track's last end cycle %v (non-monotone)",
+			i, end, t.lastEnd)
+	}
+	t.lastEnd = end
+	t.open = false
+	t.seenAny = true
+	if aborted {
+		s.aborts++
+	} else {
+		s.commits++
+	}
+}
+
+func sliceKind(aborted bool) string {
+	if aborted {
+		return "abort"
+	}
+	return "commit"
 }
 
 // checkMetrics validates a metrics sidecar: well-formed JSON with the

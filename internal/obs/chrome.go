@@ -43,8 +43,11 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
 			pid, jstr(r.label))
 		for tid := range r.threads {
-			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-				pid, tid, jstr(fmt.Sprintf("thread %d", tid)))
+			// The dropped count lets structural validators (tracecheck)
+			// distinguish a truncated ring — whose kept stream may start
+			// mid-span — from a genuinely unbalanced span sequence.
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s,"dropped":%d}}`,
+				pid, tid, jstr(fmt.Sprintf("thread %d", tid)), r.threads[tid].dropped())
 			for _, e := range r.threads[tid].events() {
 				writeThreadEvent(emit, r, pid, tid, e)
 			}
@@ -77,7 +80,7 @@ func writeThreadEvent(emit func(string, ...any), r *Recorder, pid, tid int, e Ev
 			pid, tid, e.Start, e.Cycle-e.Start, jstr(name+" (aborted)"), jstr(e.Cause.String()))
 		emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%s,"args":{"cause":%s,"line":"0x%x","by":%d}}`,
 			pid, tid, e.Cycle, jstr("abort: "+e.Cause.String()), jstr(e.Cause.String()), e.Arg, e.Aux)
-	case KTxFallback, KTxElide:
+	case KTxBegin, KTxFallback, KTxElide:
 		emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%s,"args":{"site":%s}}`,
 			pid, tid, e.Cycle, jstr(e.Kind.String()), jstr(name))
 	case KBackoff:

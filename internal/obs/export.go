@@ -39,12 +39,78 @@ func histJSON(h *Hist) HistJSON {
 	return out
 }
 
-// SiteJSON is one row of the per-site abort matrix.
+// QHistJSON is the sidecar form of a quantile histogram: summary
+// statistics only (p50/p99/p999 within 12.5% of exact), no buckets.
+type QHistJSON struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   uint64  `json:"max"`
+}
+
+func qhistJSON(h *QHist) QHistJSON {
+	return QHistJSON{
+		Count: h.N, Sum: h.Sum, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+		Max: h.Max,
+	}
+}
+
+// SiteJSON is one row of the per-site abort matrix. Latency is the
+// committed-span duration distribution of atomic blocks at this site.
 type SiteJSON struct {
 	Site    string            `json:"site"`
 	Commits uint64            `json:"commits"`
 	Aborts  map[string]uint64 `json:"aborts,omitempty"`
 	Wasted  map[string]uint64 `json:"wasted_cycles,omitempty"`
+	Latency *QHistJSON        `json:"latency,omitempty"`
+}
+
+// BlameEdgeJSON is one edge of a blame graph: the aggressor killed the
+// victim Kills times, wasting WastedCycles of the victim's work.
+// Aggressor/Victim are thread names ("t3") in the thread graph and
+// interned site names ("?" when unknown) in the site graph.
+type BlameEdgeJSON struct {
+	Aggressor    string `json:"aggressor"`
+	Victim       string `json:"victim"`
+	Kills        uint64 `json:"kills"`
+	WastedCycles uint64 `json:"wasted_cycles"`
+}
+
+// ThreadJSON is one thread's causal profile.
+type ThreadJSON struct {
+	Tid            int        `json:"tid"`
+	Spans          uint64     `json:"spans"`
+	Fallbacks      uint64     `json:"fallbacks,omitempty"`
+	Aborts         uint64     `json:"aborts,omitempty"`
+	WastedCycles   uint64     `json:"wasted_cycles,omitempty"`
+	Latency        *QHistJSON `json:"latency,omitempty"`
+	BusyCycles     uint64     `json:"busy_cycles,omitempty"`
+	CriticalCycles uint64     `json:"critical_cycles,omitempty"`
+	BoundaryParks  uint64     `json:"boundary_parks,omitempty"`
+	LocalOps       uint64     `json:"local_ops,omitempty"`
+}
+
+// SpansJSON is the causal-profiler block of one recorder: span totals,
+// the commit-latency quantile distribution, kill-chain (convoy)
+// statistics, Amdahl attribution (busy vs critical-path cycles), and the
+// two blame graphs.
+type SpansJSON struct {
+	Committed          uint64          `json:"committed"`
+	Attempts           uint64          `json:"attempts"`
+	Fallbacks          uint64          `json:"fallbacks,omitempty"`
+	Latency            QHistJSON       `json:"latency"`
+	ConvoyWindow       uint64          `json:"convoy_window_cycles"`
+	ChainLinks         uint64          `json:"chain_links,omitempty"`
+	ChainMaxDepth      uint64          `json:"chain_max_depth,omitempty"`
+	BusyCycles         uint64          `json:"busy_cycles,omitempty"`
+	CriticalPathCycles uint64          `json:"critical_path_cycles,omitempty"`
+	ThreadBlame        []BlameEdgeJSON `json:"thread_blame,omitempty"`
+	SiteBlame          []BlameEdgeJSON `json:"site_blame,omitempty"`
+	Threads            []ThreadJSON    `json:"threads,omitempty"`
 }
 
 // ShardingJSON is the derived sharded-engine block of one recorder:
@@ -68,16 +134,21 @@ type RecorderJSON struct {
 	Counters map[string]uint64   `json:"counters,omitempty"`
 	Sharding *ShardingJSON       `json:"sharding,omitempty"`
 	Hists    map[string]HistJSON `json:"hists,omitempty"`
+	Spans    *SpansJSON          `json:"spans,omitempty"`
 	Sites    []SiteJSON          `json:"sites,omitempty"`
 	Wasted   map[string]uint64   `json:"wasted_cycles,omitempty"`
 	Energy   []EnergySample      `json:"energy,omitempty"`
 }
 
-// MetricsJSON is one experiment's sidecar document.
+// MetricsJSON is one experiment's sidecar document. Aggregate is the
+// order-independent merge of all the experiment's recorders (present
+// when there is more than one), so cross-point totals don't have to be
+// re-derived downstream.
 type MetricsJSON struct {
 	Schema     string         `json:"schema"`
 	Experiment string         `json:"experiment"`
 	Recorders  []RecorderJSON `json:"recorders"`
+	Aggregate  *RecorderJSON  `json:"aggregate,omitempty"`
 }
 
 func causeMap(v *[NumCauses]uint64) map[string]uint64 {
@@ -90,6 +161,74 @@ func causeMap(v *[NumCauses]uint64) map[string]uint64 {
 			out[Cause(c).String()] = n
 		}
 	}
+	return out
+}
+
+// spansJSON builds the causal-profiler block (nil when no spans ran).
+// All ordering is deterministic: thread edges by (aggressor, victim)
+// tid, site edges by resolved name pair, threads by tid.
+func (r *Recorder) spansJSON() *SpansJSON {
+	s := &r.spans
+	if s.attempts == 0 && s.lat.N == 0 {
+		return nil
+	}
+	out := &SpansJSON{
+		Committed:     s.lat.N,
+		Attempts:      s.attempts,
+		Fallbacks:     s.fallbackSpans,
+		Latency:       qhistJSON(&s.lat),
+		ConvoyWindow:  ConvoyWindow,
+		ChainLinks:    s.chainLinks,
+		ChainMaxDepth: uint64(s.chainMax),
+	}
+	for tid := range s.threads {
+		t := &s.threads[tid]
+		out.BusyCycles += t.busy
+		out.CriticalPathCycles += t.critical
+		if t.spans|t.aborts|t.busy|t.opParks|t.localOps == 0 {
+			continue
+		}
+		tj := ThreadJSON{
+			Tid: tid, Spans: t.spans, Fallbacks: t.fallbacks,
+			Aborts: t.aborts, WastedCycles: t.wasted,
+			BusyCycles: t.busy, CriticalCycles: t.critical,
+			BoundaryParks: t.opParks, LocalOps: t.localOps,
+		}
+		if t.lat.N > 0 {
+			q := qhistJSON(&t.lat)
+			tj.Latency = &q
+		}
+		out.Threads = append(out.Threads, tj)
+	}
+	for _, k := range sortedKeys64(s.threadBlame) {
+		a, v := blameUnkey(k)
+		c := s.threadBlame[k]
+		out.ThreadBlame = append(out.ThreadBlame, BlameEdgeJSON{
+			Aggressor: fmt.Sprintf("t%d", a), Victim: fmt.Sprintf("t%d", v),
+			Kills: c.kills, WastedCycles: c.wasted,
+		})
+	}
+	siteStr := func(id int32) string {
+		if n := r.SiteName(id); n != "" {
+			return n
+		}
+		return "?"
+	}
+	for _, k := range sortedKeys64(s.siteBlame) {
+		a, v := blameUnkey(k)
+		c := s.siteBlame[k]
+		out.SiteBlame = append(out.SiteBlame, BlameEdgeJSON{
+			Aggressor: siteStr(a), Victim: siteStr(v),
+			Kills: c.kills, WastedCycles: c.wasted,
+		})
+	}
+	sort.SliceStable(out.SiteBlame, func(i, j int) bool {
+		a, b := out.SiteBlame[i], out.SiteBlame[j]
+		if a.Aggressor != b.Aggressor {
+			return a.Aggressor < b.Aggressor
+		}
+		return a.Victim < b.Victim
+	})
 	return out
 }
 
@@ -140,16 +279,23 @@ func (r *Recorder) Summary() RecorderJSON {
 			out.Hists[name] = histJSON(h)
 		}
 	}
+	out.Spans = r.spansJSON()
 	// Sites sorted by name for a stable sidecar independent of first-use
 	// order.
 	names := append([]string(nil), r.siteNames...)
 	sort.Strings(names)
 	for _, name := range names {
-		s := r.sites[r.siteIdx[name]]
-		out.Sites = append(out.Sites, SiteJSON{
+		id := r.siteIdx[name]
+		s := r.sites[id]
+		sj := SiteJSON{
 			Site: name, Commits: s.commits,
 			Aborts: causeMap(&s.aborts), Wasted: causeMap(&s.wasted),
-		})
+		}
+		if int(id) < len(r.spans.siteLat) && r.spans.siteLat[id].N > 0 {
+			q := qhistJSON(r.spans.siteLat[id])
+			sj.Latency = &q
+		}
+		out.Sites = append(out.Sites, sj)
 	}
 	out.Wasted = causeMap(&r.wasted)
 	out.Energy = append(out.Energy, r.energy...)
@@ -201,16 +347,31 @@ func (c *Collector) groups() []expGroup {
 	return gs
 }
 
+// docFor builds one experiment group's sidecar document: every
+// recorder's summary plus — when the group has more than one — the
+// order-independent aggregate merge.
+func docFor(g expGroup) MetricsJSON {
+	doc := MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: g.name}
+	for _, r := range g.recs {
+		doc.Recorders = append(doc.Recorders, r.Summary())
+	}
+	if len(g.recs) > 1 {
+		agg := NewRecorder("aggregate", 0)
+		for _, r := range g.recs {
+			agg.MergeFrom(r)
+		}
+		s := agg.Summary()
+		doc.Aggregate = &s
+	}
+	return doc
+}
+
 // metricsByExperiment groups recorders into per-experiment documents in
 // scope order.
 func (c *Collector) metricsByExperiment() []MetricsJSON {
 	var docs []MetricsJSON
 	for _, g := range c.groups() {
-		doc := MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: g.name}
-		for _, r := range g.recs {
-			doc.Recorders = append(doc.Recorders, r.Summary())
-		}
-		docs = append(docs, doc)
+		docs = append(docs, docFor(g))
 	}
 	return docs
 }
@@ -250,10 +411,7 @@ func (c *Collector) WriteMetrics(dir string) error {
 	}
 	seen := map[string]int{}
 	for _, g := range c.groups() {
-		doc := MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: g.name}
-		for _, r := range g.recs {
-			doc.Recorders = append(doc.Recorders, r.Summary())
-		}
+		doc := docFor(g)
 		name := doc.Experiment
 		if name == "" {
 			name = "run"
@@ -308,7 +466,75 @@ func writeSummaryDoc(w io.Writer, doc MetricsJSON) {
 	for _, r := range doc.Recorders {
 		writeRecorderSummary(w, r)
 	}
+	if doc.Aggregate != nil {
+		writeRecorderSummary(w, *doc.Aggregate)
+	}
 	fmt.Fprintln(w)
+}
+
+// blameTopK is how many blame-graph edges the text summary prints
+// (ranked by wasted cycles; the JSON sidecar always carries all edges).
+const blameTopK = 5
+
+// topBlame returns the top-K edges by wasted cycles (kills, then name
+// pair as deterministic tie-breaks).
+func topBlame(edges []BlameEdgeJSON) []BlameEdgeJSON {
+	out := append([]BlameEdgeJSON(nil), edges...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.WastedCycles != b.WastedCycles {
+			return a.WastedCycles > b.WastedCycles
+		}
+		if a.Kills != b.Kills {
+			return a.Kills > b.Kills
+		}
+		if a.Aggressor != b.Aggressor {
+			return a.Aggressor < b.Aggressor
+		}
+		return a.Victim < b.Victim
+	})
+	if len(out) > blameTopK {
+		out = out[:blameTopK]
+	}
+	return out
+}
+
+func writeBlameLine(w io.Writer, label string, edges []BlameEdgeJSON) {
+	if len(edges) == 0 {
+		return
+	}
+	top := topBlame(edges)
+	parts := make([]string, 0, len(top))
+	for _, e := range top {
+		parts = append(parts, fmt.Sprintf("%s->%s %d kills (%d wasted)",
+			e.Aggressor, e.Victim, e.Kills, e.WastedCycles))
+	}
+	line := fmt.Sprintf("  %s: %s", label, strings.Join(parts, ", "))
+	if len(edges) > len(top) {
+		line += fmt.Sprintf(" (+%d more edges)", len(edges)-len(top))
+	}
+	fmt.Fprintln(w, line)
+}
+
+func writeSpansSummary(w io.Writer, s *SpansJSON) {
+	fmt.Fprintf(w, "  spans: %d committed / %d attempts", s.Committed, s.Attempts)
+	if s.Fallbacks > 0 {
+		fmt.Fprintf(w, ", %d via fallback", s.Fallbacks)
+	}
+	l := s.Latency
+	fmt.Fprintf(w, "; latency p50 %.0f p99 %.0f p999 %.0f max %d cycles\n",
+		l.P50, l.P99, l.P999, l.Max)
+	if s.CriticalPathCycles > 0 {
+		fmt.Fprintf(w, "  critical path: %d cycles (busy %d, parallelism %.2f)\n",
+			s.CriticalPathCycles, s.BusyCycles,
+			float64(s.BusyCycles)/float64(s.CriticalPathCycles))
+	}
+	if s.ChainLinks > 0 {
+		fmt.Fprintf(w, "  convoys: %d chain links, max depth %d (window %d cycles)\n",
+			s.ChainLinks, s.ChainMaxDepth, s.ConvoyWindow)
+	}
+	writeBlameLine(w, "blame", s.ThreadBlame)
+	writeBlameLine(w, "site blame", s.SiteBlame)
 }
 
 func writeRecorderSummary(w io.Writer, r RecorderJSON) {
@@ -337,6 +563,9 @@ func writeRecorderSummary(w io.Writer, r RecorderJSON) {
 		}
 		fmt.Fprintln(w)
 	}
+	if r.Spans != nil {
+		writeSpansSummary(w, r.Spans)
+	}
 	if len(r.Wasted) > 0 {
 		var total uint64
 		for _, v := range r.Wasted {
@@ -350,9 +579,11 @@ func writeRecorderSummary(w io.Writer, r RecorderJSON) {
 		fmt.Fprintln(w, "  wasted cycles: "+strings.Join(parts, ", "))
 	}
 	if len(r.Sites) > 0 {
-		// Only causes that occur anywhere make a column.
+		// Only causes that occur anywhere make a column; latency columns
+		// appear when any site carries a distribution.
 		var causes []string
 		seen := map[string]bool{}
+		anyLat := false
 		for _, s := range r.Sites {
 			for c := range s.Aborts {
 				if !seen[c] {
@@ -360,15 +591,28 @@ func writeRecorderSummary(w io.Writer, r RecorderJSON) {
 					causes = append(causes, c)
 				}
 			}
+			if s.Latency != nil {
+				anyLat = true
+			}
 		}
 		sort.Strings(causes)
 		fmt.Fprintf(w, "  %-16s %8s", "site", "commits")
+		if anyLat {
+			fmt.Fprintf(w, " %10s %10s", "p50", "p99")
+		}
 		for _, c := range causes {
 			fmt.Fprintf(w, " %14s", c)
 		}
 		fmt.Fprintln(w)
 		for _, s := range r.Sites {
 			fmt.Fprintf(w, "  %-16s %8d", s.Site, s.Commits)
+			if anyLat {
+				if s.Latency != nil {
+					fmt.Fprintf(w, " %10.0f %10.0f", s.Latency.P50, s.Latency.P99)
+				} else {
+					fmt.Fprintf(w, " %10s %10s", "-", "-")
+				}
+			}
 			for _, c := range causes {
 				fmt.Fprintf(w, " %14d", s.Aborts[c])
 			}

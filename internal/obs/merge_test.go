@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// feedMergePart drives one synthetic per-point recorder. Each variant
+// interns the shared site names in a different order and runs a
+// different (but deterministic) event mix; every span is closed by the
+// end, so a part is self-contained and parts can be replayed back to
+// back into a single recorder.
+func feedMergePart(r *Recorder, variant int, base uint64) {
+	order := [][]string{
+		{"alpha", "beta", "gamma"},
+		{"beta", "gamma", "alpha"},
+		{"gamma", "alpha", "beta"},
+	}[variant%3]
+	ids := make([]int32, len(order))
+	for i, n := range order {
+		ids[i] = r.SiteID(n)
+	}
+	rng := uint64(variant)*2654435761 + 12345
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	cycle := base
+	// Warm every thread with one span so aggressor attribution
+	// (lastSite) is part-local state in both a per-part recorder and a
+	// sequential single-recorder replay.
+	for tid := 0; tid < 4; tid++ {
+		r.TxBegin(tid, cycle, ids[0])
+		r.TxCommit(tid, cycle+5, cycle, ids[0], 0)
+		cycle += 6
+	}
+	for i := 0; i < 200; i++ {
+		tid := int(next(4))
+		site := ids[next(uint64(len(ids)))]
+		start := cycle
+		r.TxBegin(tid, start, site)
+		retries := int(next(3))
+		for a := 0; a < retries; a++ {
+			cycle += 10 + next(50)
+			by := int(next(5)) - 1 // -1 (unknown) .. 3; == tid is legal too
+			r.TxAbort(tid, cycle, start, site, CauseConflict, 0x40*next(8), by)
+			cycle += 5
+			start = cycle
+			r.TxBegin(tid, start, site)
+		}
+		if next(10) == 0 {
+			r.TxInstant(tid, cycle, site, KTxFallback)
+		}
+		cycle += 20 + next(100)
+		r.TxCommit(tid, cycle, start, site, retries)
+		cycle += next(30)
+	}
+	span := cycle - base
+	r.RegionThreads([]uint64{span, span / 2, span / 3, span / 4})
+	r.ShardThreadOps(int(next(4)), next(100), 100+next(400))
+	r.Add("sim:ops", 1000+next(500))
+	r.Add("part:events", 200)
+}
+
+// mergeParts builds the three synthetic per-point recorders. Part bases
+// are spaced far beyond ConvoyWindow so kill chains cannot span parts —
+// the one cross-part coupling a sequential single-recorder replay would
+// see but a merge of independent recorders would not.
+func mergeParts() []*Recorder {
+	parts := make([]*Recorder, 3)
+	for v := range parts {
+		parts[v] = NewRecorder("part", 0)
+		feedMergePart(parts[v], v, uint64(v)<<20)
+	}
+	return parts
+}
+
+func summaryBytes(t *testing.T, r *Recorder) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(r.Summary(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestMergeOrderIndependent: merging per-point recorders in any order
+// yields byte-identical sidecar JSON, equal to a single recorder that
+// saw every event itself. This is the property the per-experiment
+// aggregate recorder and the -j determinism guarantee lean on.
+func TestMergeOrderIndependent(t *testing.T) {
+	parts := mergeParts()
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var ref []byte
+	for _, p := range perms {
+		m := NewRecorder("union", 0)
+		for _, i := range p {
+			m.MergeFrom(parts[i])
+		}
+		got := summaryBytes(t, m)
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Fatalf("merge order %v produced different sidecar bytes", p)
+		}
+	}
+
+	single := NewRecorder("union", 0)
+	for v := range parts {
+		feedMergePart(single, v, uint64(v)<<20)
+	}
+	if want := summaryBytes(t, single); !bytes.Equal(ref, want) {
+		t.Errorf("merged summary differs from single-recorder replay:\nmerged:\n%s\nsingle:\n%s", ref, want)
+	}
+}
+
+// TestMergeGolden pins the merged sidecar against a checked-in fixture
+// so accidental changes to merge or export semantics are caught even
+// when they stay self-consistent. Regenerate with
+// RTMLAB_UPDATE_GOLDEN=1 go test ./internal/obs -run TestMergeGolden.
+func TestMergeGolden(t *testing.T) {
+	parts := mergeParts()
+	m := NewRecorder("union", 0)
+	for _, p := range parts {
+		m.MergeFrom(p)
+	}
+	got := summaryBytes(t, m)
+
+	path := filepath.Join("testdata", "merge_golden.json")
+	if os.Getenv("RTMLAB_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with RTMLAB_UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged sidecar diverged from golden fixture %s (regenerate with RTMLAB_UPDATE_GOLDEN=1 if intended)\ngot:\n%s", path, got)
+	}
+}

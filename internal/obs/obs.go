@@ -85,6 +85,7 @@ const (
 	KL3Evict
 	KInval
 	KBackoff
+	KTxBegin
 	NumKinds
 )
 
@@ -98,6 +99,7 @@ var kindNames = [NumKinds]string{
 	KL3Evict:    "l3-evict",
 	KInval:      "invalidate",
 	KBackoff:    "backoff",
+	KTxBegin:    "begin",
 }
 
 func (k Kind) String() string {
@@ -252,6 +254,11 @@ type Recorder struct {
 	counters map[string]uint64
 	energy   []EnergySample
 
+	// spans is the causal-profiler state (see span.go): per-thread open
+	// spans, latency quantile histograms, the abort blame graphs, kill
+	// chains and critical-path attribution.
+	spans spanState
+
 	// wallNS is host wall-clock time spent simulating the recorded
 	// regions. Unlike every other field it measures the host, not the
 	// simulated machine, so it is NOT deterministic; it is exported in a
@@ -351,6 +358,7 @@ func (r *Recorder) TxCommit(tid int, cycle, start uint64, site int32, retries in
 	if site >= 0 {
 		r.sites[site].commits++
 	}
+	r.spanCommit(tid, r.base+cycle, r.base+start, site)
 }
 
 // TxAbort records one aborted attempt: an event carrying the cause, the
@@ -369,12 +377,17 @@ func (r *Recorder) TxAbort(tid int, cycle, start uint64, site int32, cause Cause
 		s.aborts[cause]++
 		s.wasted[cause] += w
 	}
+	r.spanAbort(tid, r.base+cycle, w, site, by)
 }
 
 // TxInstant records a point event (fallback serialisation, HLE elide) on
-// the thread's track.
+// the thread's track. A fallback instant marks the thread's open span as
+// completing through a fallback path.
 func (r *Recorder) TxInstant(tid int, cycle uint64, site int32, kind Kind) {
 	r.pushThread(tid, Event{Cycle: r.base + cycle, Site: site, Aux: -1, Kind: kind})
+	if kind == KTxFallback {
+		r.spanFallback(tid)
+	}
 }
 
 // HTMSetsAtCommit records the transactional footprint of a committing

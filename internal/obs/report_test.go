@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// rec builds a minimal recorder summary for diff tests.
+func rec(label string, commits, aborts uint64, p99 float64) RecorderJSON {
+	return RecorderJSON{
+		Label:  label,
+		Events: map[string]uint64{"commit": commits, "abort": aborts},
+		Spans: &SpansJSON{
+			Committed: commits,
+			Attempts:  commits + aborts,
+			Latency:   QHistJSON{Count: commits, P50: p99 / 2, P99: p99, P999: p99, Mean: p99 / 2},
+		},
+		Sites: []SiteJSON{{Site: "incr", Commits: commits}},
+	}
+}
+
+func docOf(label string, recs ...RecorderJSON) *MetricsJSON {
+	return &MetricsJSON{Schema: "rtmlab-metrics/v1", Experiment: label, Recorders: recs}
+}
+
+func findDelta(t *testing.T, d *DiffDoc, rec, name string) MetricDelta {
+	t.Helper()
+	for _, rd := range d.Recorders {
+		if rd.Label != rec {
+			continue
+		}
+		for _, m := range rd.Deltas {
+			if m.Name == name {
+				return m
+			}
+		}
+	}
+	t.Fatalf("metric %s/%s not in diff", rec, name)
+	return MetricDelta{}
+}
+
+// TestDiffVerdicts drives the semantic/timing classification: identical
+// commit counts must read "match", a commit drift is a MISMATCH, timing
+// moves inside tolerance are "ok", and moves past it get a direction-
+// aware regression/improvement verdict.
+func TestDiffVerdicts(t *testing.T) {
+	a := docOf("fig10", rec("4t", 1000, 100, 320))
+	b := docOf("fig10", rec("4t", 1000, 200, 280))
+	d := DiffMetrics(a, b, 10)
+
+	if m := findDelta(t, d, "4t", "commits"); m.Verdict != VerdictMatch || m.Class != ClassSemantic {
+		t.Errorf("commits = %+v, want semantic match", m)
+	}
+	if m := findDelta(t, d, "4t", "site.incr.commits"); m.Verdict != VerdictMatch {
+		t.Errorf("site commits = %+v, want match", m)
+	}
+	// aborts doubled (lower is better): regression.
+	if m := findDelta(t, d, "4t", "aborts"); m.Verdict != VerdictRegression || m.DeltaPct != 100 {
+		t.Errorf("aborts = %+v, want +100%% regression", m)
+	}
+	// p99 dropped 12.5% (lower is better): improvement.
+	if m := findDelta(t, d, "4t", "latency.p99"); m.Verdict != VerdictImprovement {
+		t.Errorf("latency.p99 = %+v, want improvement", m)
+	}
+	if d.SemanticMismatches != 0 {
+		t.Errorf("semantic mismatches = %d, want 0", d.SemanticMismatches)
+	}
+	if d.Regressions == 0 {
+		t.Error("expected at least one timing regression")
+	}
+
+	// Now a semantic drift: commit counts differ.
+	d = DiffMetrics(a, docOf("fig10", rec("4t", 999, 100, 320)), 10)
+	if m := findDelta(t, d, "4t", "commits"); m.Verdict != VerdictMismatch {
+		t.Errorf("commits = %+v, want MISMATCH", m)
+	}
+	if d.SemanticMismatches == 0 {
+		t.Error("semantic mismatch not counted")
+	}
+}
+
+// TestDiffDirectionAware: parallelism is a higher-is-better metric, so a
+// drop is the regression direction.
+func TestDiffDirectionAware(t *testing.T) {
+	mk := func(busy, crit uint64) RecorderJSON {
+		r := rec("4t", 100, 0, 100)
+		r.Spans.BusyCycles = busy
+		r.Spans.CriticalPathCycles = crit
+		return r
+	}
+	d := DiffMetrics(docOf("e", mk(4000, 1000)), docOf("e", mk(2000, 1000)), 10)
+	if m := findDelta(t, d, "4t", "parallelism"); m.Verdict != VerdictRegression {
+		t.Errorf("parallelism 4.0 -> 2.0 = %+v, want regression", m)
+	}
+	d = DiffMetrics(docOf("e", mk(2000, 1000)), docOf("e", mk(4000, 1000)), 10)
+	if m := findDelta(t, d, "4t", "parallelism"); m.Verdict != VerdictImprovement {
+		t.Errorf("parallelism 2.0 -> 4.0 = %+v, want improvement", m)
+	}
+	// Within tolerance: ok.
+	d = DiffMetrics(docOf("e", mk(4000, 1000)), docOf("e", mk(4100, 1000)), 10)
+	if m := findDelta(t, d, "4t", "parallelism"); m.Verdict != VerdictOK {
+		t.Errorf("parallelism 4.0 -> 4.1 = %+v, want ok", m)
+	}
+}
+
+// TestDiffLabelMatching: recorders pair by label; stragglers land in
+// OnlyA/OnlyB and never count as mismatches.
+func TestDiffLabelMatching(t *testing.T) {
+	a := docOf("e", rec("1t", 10, 0, 50), rec("4t", 40, 0, 80))
+	b := docOf("e", rec("4t", 40, 0, 90), rec("8t", 80, 0, 100))
+	d := DiffMetrics(a, b, 10)
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != "1t" {
+		t.Errorf("OnlyA = %v", d.OnlyA)
+	}
+	if len(d.OnlyB) != 1 || d.OnlyB[0] != "8t" {
+		t.Errorf("OnlyB = %v", d.OnlyB)
+	}
+	if len(d.Recorders) != 1 || d.Recorders[0].Label != "4t" {
+		t.Errorf("matched recorders = %+v", d.Recorders)
+	}
+	if d.SemanticMismatches != 0 {
+		t.Errorf("unmatched recorders counted as mismatches: %d", d.SemanticMismatches)
+	}
+}
+
+// TestWriteDiffAndReportText smoke-checks the text renderers: stable
+// headers, the verdict footer, and suppression of both-zero timing rows.
+func TestWriteDiffAndReportText(t *testing.T) {
+	a := docOf("fig10", rec("4t", 1000, 100, 320))
+	b := docOf("fig10", rec("4t", 1000, 200, 280))
+	var buf bytes.Buffer
+	WriteDiff(&buf, DiffMetrics(a, b, 10))
+	out := buf.String()
+	for _, want := range []string{
+		"== rtmreport diff: fig10 vs fig10",
+		"[semantic] commits",
+		"regression",
+		"verdict: semantics match;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff text missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fallbacks") {
+		t.Errorf("both-zero timing row not suppressed:\n%s", out)
+	}
+
+	buf.Reset()
+	WriteReport(&buf, a)
+	out = buf.String()
+	for _, want := range []string{"== rtmreport: fig10 ==", "-- 4t --", "latency: p50", "incr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{320, "320"}, {0.43, "0.43"}, {0, "0"}, {-1.5, "-1.5"}, {2.25, "2.25"}} {
+		if got := trimFloat(tc.v); got != tc.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

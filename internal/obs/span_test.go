@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQIndexBounds(t *testing.T) {
+	// Every value must land in the bucket whose [lo, hi) range holds it.
+	vals := []uint64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range vals {
+		i := qIndex(v)
+		lo, hi := qBounds(i)
+		if v < lo || (hi != 0 && v >= hi) {
+			t.Errorf("qIndex(%d) = %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+	}
+	// Exhaustive over the exact range and the first octaves.
+	for v := uint64(0); v < 4096; v++ {
+		i := qIndex(v)
+		lo, hi := qBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("qIndex(%d) = %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+	}
+}
+
+func TestQHistQuantiles(t *testing.T) {
+	var h QHist
+	// Uniform 1..1000: p50 ~ 500, p99 ~ 990 — the log2/8-minor layout
+	// bounds relative error by 12.5%.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	check := func(q, want, relTol float64) {
+		got := h.Quantile(q)
+		if math.Abs(got-want) > want*relTol {
+			t.Errorf("Quantile(%v) = %v, want %v +/- %.0f%%", q, got, want, relTol*100)
+		}
+	}
+	check(0.50, 500, 0.125)
+	check(0.99, 990, 0.125)
+	check(0.999, 999, 0.125)
+	if h.Max != 1000 {
+		t.Errorf("Max = %d, want 1000 (exact)", h.Max)
+	}
+	if h.Quantile(0) > 1+1 {
+		t.Errorf("Quantile(0) = %v, want ~1", h.Quantile(0))
+	}
+	// Values below 8 are exact.
+	var small QHist
+	for _, v := range []uint64{1, 2, 3, 4, 5, 6, 7} {
+		small.Observe(v)
+	}
+	if got := small.Quantile(0.5); got != 4 {
+		t.Errorf("small p50 = %v, want exactly 4", got)
+	}
+	// Empty hist.
+	var empty QHist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty QHist should report zeros")
+	}
+}
+
+func TestQHistMergeEquivalence(t *testing.T) {
+	var whole, a, b QHist
+	for v := uint64(0); v < 5000; v++ {
+		x := v * v % 97731
+		whole.Observe(x)
+		if v%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged QHist differs from single-histogram result")
+	}
+}
+
+// TestSpanLifecycle drives one thread through a two-attempt transaction
+// and checks the derived span state.
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder("t", 0)
+	site := r.SiteID("incr")
+	r.TxBegin(0, 100, site)
+	r.TxAbort(0, 180, 100, site, CauseConflict, 0x40, 1)
+	r.TxBegin(0, 200, site)
+	r.TxCommit(0, 400, 100, site, 1)
+
+	s := r.Summary().Spans
+	if s == nil {
+		t.Fatal("no spans block")
+	}
+	if s.Committed != 1 || s.Attempts != 2 {
+		t.Fatalf("committed=%d attempts=%d, want 1/2", s.Committed, s.Attempts)
+	}
+	// Span duration runs from the first begin (100) to the commit (400).
+	if s.Latency.Max != 300 {
+		t.Errorf("span duration = %d, want 300", s.Latency.Max)
+	}
+	if len(s.ThreadBlame) != 1 || s.ThreadBlame[0].Aggressor != "t1" || s.ThreadBlame[0].Victim != "t0" {
+		t.Fatalf("thread blame = %+v", s.ThreadBlame)
+	}
+	if s.ThreadBlame[0].Kills != 1 || s.ThreadBlame[0].WastedCycles != 80 {
+		t.Errorf("blame edge = %+v", s.ThreadBlame[0])
+	}
+	// Aggressor thread 1 ran no site, so the site edge is ? -> incr.
+	if len(s.SiteBlame) != 1 || s.SiteBlame[0].Aggressor != "?" || s.SiteBlame[0].Victim != "incr" {
+		t.Errorf("site blame = %+v", s.SiteBlame)
+	}
+	// Per-site latency reaches the sidecar row.
+	sum := r.Summary()
+	if sum.Sites[0].Latency == nil || sum.Sites[0].Latency.Count != 1 {
+		t.Errorf("site latency = %+v", sum.Sites[0].Latency)
+	}
+}
+
+// TestSpanAggressorSite pins site-to-site blame through the aggressor's
+// open span.
+func TestSpanAggressorSite(t *testing.T) {
+	r := NewRecorder("t", 0)
+	alpha, beta := r.SiteID("alpha"), r.SiteID("beta")
+	r.TxBegin(1, 50, alpha) // aggressor's span is open at site alpha
+	r.TxBegin(0, 100, beta)
+	r.TxAbort(0, 150, 100, beta, CauseConflict, 0x40, 1)
+	s := r.Summary().Spans
+	if len(s.SiteBlame) != 1 || s.SiteBlame[0].Aggressor != "alpha" || s.SiteBlame[0].Victim != "beta" {
+		t.Fatalf("site blame = %+v", s.SiteBlame)
+	}
+}
+
+// TestSpanConvoyChain: t0 kills t1, then t1 (freshly killed) kills t2
+// within the window — a depth-2 chain. t2 killing t0 much later starts a
+// fresh chain.
+func TestSpanConvoyChain(t *testing.T) {
+	r := NewRecorder("t", 0)
+	r.TxBegin(1, 100, -1)
+	r.TxAbort(1, 200, 100, -1, CauseConflict, 0, 0) // t0 kills t1
+	r.TxBegin(2, 210, -1)
+	r.TxAbort(2, 300, 210, -1, CauseConflict, 0, 1) // t1 kills t2: chain depth 2
+	s := r.Summary().Spans
+	if s.ChainLinks != 1 || s.ChainMaxDepth != 2 {
+		t.Fatalf("chain links=%d maxDepth=%d, want 1/2", s.ChainLinks, s.ChainMaxDepth)
+	}
+	// Far outside the window: no chain extension.
+	r.TxBegin(0, 300+ConvoyWindow+1, -1)
+	r.TxAbort(0, 400+ConvoyWindow+1, 300+ConvoyWindow+1, -1, CauseConflict, 0, 2)
+	s = r.Summary().Spans
+	if s.ChainLinks != 1 {
+		t.Errorf("stale kill extended a chain: links=%d", s.ChainLinks)
+	}
+}
+
+// TestSpanAbortGrowth aborts with an aggressor tid far above the victim,
+// forcing the thread table to grow mid-abort (the dangling-pointer
+// hazard the implementation guards against).
+func TestSpanAbortGrowth(t *testing.T) {
+	r := NewRecorder("t", 0)
+	r.TxBegin(0, 100, -1)
+	r.TxAbort(0, 150, 100, -1, CauseConflict, 0, 63)
+	s := r.Summary().Spans
+	if len(s.ThreadBlame) != 1 || s.ThreadBlame[0].Aggressor != "t63" {
+		t.Fatalf("thread blame = %+v", s.ThreadBlame)
+	}
+	if r.SpanThreads() != 64 {
+		t.Errorf("span threads = %d, want 64", r.SpanThreads())
+	}
+}
+
+// TestSpanFallback: the fallback instant marks the span; unopened spans
+// (recorders fed terminators only, e.g. in unit fixtures) stay safe.
+func TestSpanFallback(t *testing.T) {
+	r := NewRecorder("t", 0)
+	r.TxBegin(0, 100, -1)
+	r.TxInstant(0, 150, -1, KTxFallback)
+	r.TxCommit(0, 300, 100, -1, 2)
+	s := r.Summary().Spans
+	if s.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+	// Terminators without begins must not panic or open state.
+	r2 := NewRecorder("t2", 0)
+	r2.TxCommit(0, 300, 100, -1, 0)
+	r2.TxAbort(0, 400, 350, -1, CauseConflict, 0, -1)
+	if s2 := r2.Summary().Spans; s2.Committed != 1 || s2.Attempts != 0 {
+		t.Errorf("unopened spans: %+v", s2)
+	}
+}
+
+// TestRegionAttribution checks busy/critical accounting and the sharded
+// per-thread op split.
+func TestRegionAttribution(t *testing.T) {
+	r := NewRecorder("t", 0)
+	r.TxBegin(0, 0, -1) // non-empty span state so the spans block is emitted
+	r.TxCommit(0, 10, 0, -1, 0)
+	r.RegionThreads([]uint64{100, 300, 200})
+	r.RegionThreads([]uint64{50, 50, 50}) // tie: lowest tid wins
+	r.ShardThreadOps(1, 7, 13)
+	s := r.Summary().Spans
+	if s.BusyCycles != 750 {
+		t.Errorf("busy = %d, want 750", s.BusyCycles)
+	}
+	if s.CriticalPathCycles != 350 {
+		t.Errorf("critical = %d, want 350 (300 from t1 + 50 tie to t0)", s.CriticalPathCycles)
+	}
+	var t0, t1 *ThreadJSON
+	for i := range s.Threads {
+		switch s.Threads[i].Tid {
+		case 0:
+			t0 = &s.Threads[i]
+		case 1:
+			t1 = &s.Threads[i]
+		}
+	}
+	if t0 == nil || t0.CriticalCycles != 50 {
+		t.Errorf("t0 = %+v", t0)
+	}
+	if t1 == nil || t1.CriticalCycles != 300 || t1.BoundaryParks != 7 || t1.LocalOps != 13 {
+		t.Errorf("t1 = %+v", t1)
+	}
+}

@@ -446,13 +446,17 @@ func Run(cfg *arch.Config, h *mem.Hierarchy, n int, seed uint64, setup func(*Pro
 				opParks += p.sh.opParks
 				localOps += p.sh.localOps
 				localClaims += p.sh.localClaims
+				rec.ShardThreadOps(p.id, p.sh.opParks, p.sh.localOps)
 			}
 			rec.Add("sim:parks.op", opParks)
 			rec.Add("sim:local.ops", localOps)
 			rec.Add("sim:slice.claims", localClaims)
 		}
-		// Thread clocks restart at zero every region; rebase the
-		// recorder's timeline so the next region's events follow this one.
+		// Attribute the region to the causal profile (busy cycles per
+		// thread; the longest thread claims the critical path), then
+		// rebase: thread clocks restart at zero every region, so the
+		// recorder's timeline must advance past this one.
+		rec.RegionThreads(res.ThreadCycles)
 		rec.AdvanceBase(res.Cycles)
 	}
 	return res

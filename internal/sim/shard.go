@@ -452,6 +452,8 @@ func (se *shardEngine) applyDef(p *Proc, d *ShardDef) {
 				rec.TxCommit(p.id, ev.Cycle, ev.Start, ev.Site, int(ev.Aux))
 			case obs.KTxAbort:
 				rec.TxAbort(p.id, ev.Cycle, ev.Start, ev.Site, ev.Cause, ev.Arg, int(ev.Aux))
+			case obs.KTxBegin:
+				rec.TxBegin(p.id, ev.Cycle, ev.Site)
 			case obs.KBackoff:
 				rec.STMBackoff(p.id, ev.Cycle, ev.Arg, ev.Cause)
 			default:

@@ -41,8 +41,14 @@ import (
 const MetaBase uint64 = 1 << 36
 
 // Abort is the panic value used to unwind an aborted transaction body.
+// By is the aggressor thread — recovered from the owner tid encoded in
+// the conflicting lock word on encounter-time conflicts — and Addr the
+// conflicting lock-word address; -1/0 when unknown (validation aborts,
+// voluntary restarts, faults). They feed the obs layer's blame graph.
 type Abort struct {
 	Reason Reason
+	By     int
+	Addr   uint64
 }
 
 func (a Abort) Error() string { return fmt.Sprintf("stm abort: %v", a.Reason) }
@@ -217,9 +223,11 @@ func (t *Txn) Begin() {
 // abort releases encounter-time locks, applies backoff and unwinds. In
 // the shard parallel phase the lock-release stores are buffered and land
 // at the boundary in cycle order — before any retry's acquisitions.
-func (t *Txn) abort(reason Reason) {
+// by/addr carry the aggressor thread and conflicting lock word into the
+// Abort value (-1/0 when unknown).
+func (t *Txn) abort(reason Reason, by int, addr uint64) {
 	t.rollback(reason)
-	panic(Abort{Reason: reason})
+	panic(Abort{Reason: reason, By: by, Addr: addr})
 }
 
 // Fault tears the active transaction down after its body raised a
@@ -233,7 +241,7 @@ func (t *Txn) Fault() (a Abort, ok bool) {
 		return Abort{}, false
 	}
 	t.rollback(ReasonFault)
-	return Abort{Reason: ReasonFault}, true
+	return Abort{Reason: ReasonFault, By: -1}, true
 }
 
 // rollback is abort without the unwind: release locks, count, back off.
@@ -340,12 +348,12 @@ func (t *Txn) Load(addr uint64) int64 {
 				}
 				return t.proc.Load(addr)
 			}
-			t.abort(ReasonLocked)
+			t.abort(ReasonLocked, lockOwner(w), lockAddr)
 		}
 		ver := wordVersion(w)
 		if ver > t.rv {
 			if !t.extend() {
-				t.abort(ReasonValidation)
+				t.abort(ReasonValidation, -1, lockAddr)
 			}
 		}
 		if s.pt != nil {
@@ -392,9 +400,9 @@ func (t *Txn) Store(addr uint64, val int64) {
 		// CAS win; the local abort trades that near-miss for keeping the
 		// spin-retry loop (backoff, re-read of the cached lock line)
 		// entirely inside the epoch.
-		if s.cfg.Shard.Classifier() && isLocked(t.proc.PeekShared(lockAddr)) {
+		if w := t.proc.PeekShared(lockAddr); s.cfg.Shard.Classifier() && isLocked(w) {
 			t.proc.Load(lockAddr)
-			t.abort(ReasonLocked)
+			t.abort(ReasonLocked, lockOwner(w), lockAddr)
 		}
 		// The CAS needs Peek+Store atomicity against the live lock word;
 		// park it as an exclusive boundary op (acquireSlow, unchanged).
@@ -417,11 +425,11 @@ func (t *Txn) acquireSlow() {
 	for {
 		w := t.proc.Load(lockAddr)
 		if isLocked(w) {
-			t.abort(ReasonLocked) // encounter-time conflict
+			t.abort(ReasonLocked, lockOwner(w), lockAddr) // encounter-time conflict
 		}
 		ver := wordVersion(w)
 		if ver > t.rv && !t.extend() {
-			t.abort(ReasonValidation)
+			t.abort(ReasonValidation, -1, lockAddr)
 		}
 		// CAS emulation: the timed load above yielded, so the word may
 		// have changed; Peek and the store below are atomic (no yield in
@@ -485,7 +493,7 @@ func (t *Txn) commitSlow() {
 		break
 	}
 	if cv > t.rv+1 && !t.validate() {
-		t.abort(ReasonValidation)
+		t.abort(ReasonValidation, -1, 0)
 	}
 	// Publish the write-back buffer in program order.
 	for _, we := range t.writes {
@@ -522,5 +530,5 @@ func (t *Txn) AbortVoluntarily() {
 	if !t.active {
 		panic("stm: abort outside transaction")
 	}
-	t.abort(ReasonNone)
+	t.abort(ReasonNone, -1, 0)
 }

@@ -541,8 +541,24 @@ func (c *Ctx) siteID(r *obs.Recorder, site string) int32 {
 }
 
 // beginAttempt marks the start of one attempt of the current atomic
-// block (the abort slice's left edge).
-func (c *Ctx) beginAttempt() { c.attemptStart = c.P.Cycles() }
+// block (the abort slice's left edge) and opens/extends the thread's
+// span on the flight recorder: every attempt — hardware, STM, elided or
+// fallback — emits a begin, so spans stay balanced (each begin is
+// terminated by a commit or an abort before the next begin).
+func (c *Ctx) beginAttempt() {
+	c.attemptStart = c.P.Cycles()
+	r := c.sys.Obs
+	if r == nil {
+		return
+	}
+	if c.P.ShardActive() {
+		c.P.DeferEvent(obs.Event{
+			Cycle: c.attemptStart, Site: c.obsSite, Aux: -1, Kind: obs.KTxBegin,
+		})
+		return
+	}
+	r.TxBegin(c.P.ID(), c.attemptStart, c.obsSite)
+}
 
 // obsCommit records the committed atomic block on the flight recorder:
 // one slice from block start (retries included) to now. The recorder is
@@ -649,13 +665,16 @@ func (c *Ctx) Atomic(body func(t Tx)) {
 // global acquires the global lock for the Lock backend.
 func (c *Ctx) global() { c.sys.global.Lock(c) }
 
-// atomicDirect runs body with direct accesses, honouring Restart.
+// atomicDirect runs body with direct accesses, honouring Restart. Each
+// iteration is one recorded attempt; a voluntary restart wastes its
+// attempt like any abort (cause "none"), keeping spans balanced.
 func (c *Ctx) atomicDirect(body func(t Tx), t Tx) {
 	for {
 		again := func() (again bool) {
 			defer func() {
 				if r := recover(); r != nil {
 					if _, is := r.(restartSignal); is {
+						c.obsAbort(obs.CauseNone, 0, -1)
 						again = true
 						return
 					}
@@ -663,6 +682,7 @@ func (c *Ctx) atomicDirect(body func(t Tx), t Tx) {
 				}
 			}()
 			c.resetFrees()
+			c.beginAttempt()
 			body(t)
 			return false
 		}()
@@ -698,7 +718,7 @@ func (c *Ctx) atomicSTM(body func(t Tx)) {
 					}
 					c.noteSiteAbort(a.Reason.String())
 					c.emit(trace.KindAbort, a.Reason.String())
-					c.obsAbort(a.Reason.ObsCause(), 0, -1)
+					c.obsAbort(a.Reason.ObsCause(), a.Addr, a.By)
 					ok = false
 					return
 				}

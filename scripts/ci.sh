@@ -66,6 +66,18 @@ cmp "$obsdir/out1off.txt" "$obsdir/out4off.txt"
 # classic and sharded engines time threads differently by design.
 go run ./cmd/rtmlab -scale test -seeds 1 table4 > /dev/null
 
+echo "== rtmreport smoke (causal report + run diff gate) =="
+# The causal report must render from both sidecars produced above, and
+# the run-diff observatory must verify the classifier invariant the
+# cheap way: classifier-on vs classifier-off runs of the same experiment
+# agree on every semantic metric (committed atomic blocks, per-site
+# commits) and differ only in timing-derived metrics. -same-commits
+# turns a semantic drift into a non-zero exit.
+go run ./cmd/rtmreport "$obsdir/metrics4/table4.json" > /dev/null
+go run ./cmd/rtmreport -json "$obsdir/metrics4/table4.json" > /dev/null
+go run ./cmd/rtmlab -scale test -seeds 1 -shards 4 -shard-classifier=false -metrics "$obsdir/metrics4off" table4 > /dev/null
+go run ./cmd/rtmreport -diff -same-commits "$obsdir/metrics4/table4.json" "$obsdir/metrics4off/table4.json" > /dev/null
+
 echo "== disabled-recorder overhead gate (htm vs committed snapshot) =="
 # The flight recorder must cost nothing when off: every site is a nil
 # check (structurally enforced by rtmvet obsguard + the zero-alloc
