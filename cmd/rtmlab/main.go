@@ -19,6 +19,13 @@
 // output is byte-identical for any shards >= 1, and -shards composes with
 // -j. Use -cpuprofile/-memprofile to capture pprof profiles of the run.
 //
+// Every STM (and hybrid-fallback) run uses the concurrency-control
+// protocol selected by -stm-protocol: tinystm (encounter-time locking,
+// the default and the paper's subject), tl2 (commit-time locking) or
+// norec (single sequence lock, value-based validation, no lock array).
+// Tables, recorder labels and metrics sidecars name the protocol, so
+// every figure becomes a protocol x workload matrix point.
+//
 // The flight recorder (-trace, -metrics) captures per-thread transaction
 // events across the instrumented experiments (fig10, table4, table5,
 // claims, hybrid): -trace writes one Chrome trace-event JSON file
@@ -38,6 +45,7 @@ import (
 	"rtmlab/internal/harness"
 	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
+	"rtmlab/internal/stm"
 )
 
 func main() {
@@ -55,18 +63,28 @@ func main() {
 		shards     = flag.Int("shards", 0, "intra-point engine shards: 0 = classic serial engine, N > 0 = N epoch-synchronized workers, -1 = auto (one per simulated core); output is byte-identical for any shards >= 1")
 		epochCyc   = flag.Uint64("epoch-cycles", 0, "coherence-epoch length in simulated cycles for -shards (0 = default)")
 		classifier = flag.Bool("shard-classifier", true, "ownership classifier for -shards: serve frozen-private accesses and conflict claims inside the epoch (false = park-everything engine); a semantic knob, byte-identical per setting at any shards >= 1")
+		stmProto   = flag.String("stm-protocol", stm.TinySTMName, "STM concurrency-control protocol: tinystm (encounter-time locking) | tl2 (commit-time locking) | norec (single sequence lock, value validation, no lock array); a semantic knob, byte-identical per setting at any -j/-shards")
 	)
 	flag.Parse()
 
+	if !stm.ValidProtocol(*stmProto) {
+		fmt.Fprintf(os.Stderr, "unknown -stm-protocol %q (want tinystm, tl2 or norec)\n", *stmProto)
+		os.Exit(2)
+	}
 	o := harness.Options{Seeds: *seeds, OutDir: *outDir, Jobs: *jobs,
 		Shards: *shards, EpochCycles: *epochCyc, NoClassifier: !*classifier}
+	if *stmProto != stm.TinySTMName {
+		// The default stays "", keeping default runs on the pristine
+		// fast path (and their output bytes unchanged).
+		o.STMProtocol = *stmProto
+	}
 	if *traceOut != "" || *metricsDir != "" {
 		o.Obs = obs.NewCollector(*traceLimit)
 		ec := *epochCyc
 		if *shards != 0 && ec == 0 {
 			ec = arch.DefaultEpochCycles
 		}
-		o.Obs.SetRunConfig(*shards, ec, *shards != 0 && !*classifier)
+		o.Obs.SetRunConfig(*shards, ec, *shards != 0 && !*classifier, o.STMProtocol)
 	}
 	switch *scale {
 	case "test":

@@ -18,6 +18,14 @@
 //	rtmreport -diff a/fig10.json b/fig10.json
 //	rtmreport -diff -same-commits -tol-pct 15 on/table4.json off/table4.json
 //
+// Points pair by label. Labels are self-describing (they name the
+// backend, so an STM point under -stm-protocol norec is labelled
+// .../norec/... while the default run says .../tinystm/...); -relabel
+// from=to rewrites labels on both sides before pairing, so runs of the
+// same experiment under different protocols can be diffed:
+//
+//	rtmreport -diff -relabel norec=tinystm tiny/fig10.json norec/fig10.json
+//
 // Exit status: 0 on success; 1 when -same-commits is set and a semantic
 // metric differs; 2 on usage or I/O errors. Reports are pure functions
 // of the sidecar bytes, so their output inherits the sidecars'
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rtmlab/internal/obs"
 )
@@ -37,9 +46,10 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	sameCommits := flag.Bool("same-commits", false, "diff mode: exit 1 unless all semantic metrics (commit counts) match")
 	tolPct := flag.Float64("tol-pct", 10, "diff mode: timing-metric tolerance before a regression/improvement verdict")
+	relabel := flag.String("relabel", "", "diff mode: rewrite point labels before pairing, as from=to (substring replace on both sides); pairs runs whose labels differ only by a knob name, e.g. -relabel norec=tinystm")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rtmreport [-json] metrics.json\n")
-		fmt.Fprintf(os.Stderr, "       rtmreport -diff [-json] [-same-commits] [-tol-pct N] a.json b.json\n")
+		fmt.Fprintf(os.Stderr, "       rtmreport -diff [-json] [-same-commits] [-tol-pct N] [-relabel from=to] a.json b.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +66,15 @@ func main() {
 		b, err := obs.ReadMetricsFile(flag.Arg(1))
 		if err != nil {
 			fatal(err)
+		}
+		if *relabel != "" {
+			from, to, ok := strings.Cut(*relabel, "=")
+			if !ok || from == "" {
+				fmt.Fprintln(os.Stderr, "rtmreport: -relabel wants from=to")
+				os.Exit(2)
+			}
+			relabelDoc(a, from, to)
+			relabelDoc(b, from, to)
 		}
 		d := obs.DiffMetrics(a, b, *tolPct)
 		if *asJSON {
@@ -92,6 +111,17 @@ func main() {
 		return
 	}
 	obs.WriteReport(os.Stdout, doc)
+}
+
+// relabelDoc applies the -relabel substring rewrite to every point
+// label (and the aggregate's) so DiffMetrics pairs across knob names.
+func relabelDoc(doc *obs.MetricsJSON, from, to string) {
+	for i := range doc.Recorders {
+		doc.Recorders[i].Label = strings.ReplaceAll(doc.Recorders[i].Label, from, to)
+	}
+	if doc.Aggregate != nil {
+		doc.Aggregate.Label = strings.ReplaceAll(doc.Aggregate.Label, from, to)
+	}
 }
 
 func fatal(err error) {

@@ -79,8 +79,10 @@ type TSX struct {
 	ReadSetLevel int
 }
 
-// STM holds the TinySTM cost parameters. The lock-array accesses themselves
-// go through the simulated cache hierarchy and are *not* included here.
+// STM holds the software-TM cost parameters, shared by every protocol.
+// The metadata accesses themselves (lock array, version clock, sequence
+// lock) go through the simulated cache hierarchy and are *not* included
+// here.
 type STM struct {
 	TxBeginCost     uint64 // start: clock sample + descriptor setup
 	TxCommitCost    uint64 // commit fixed part: clock increment (CAS)
@@ -88,7 +90,12 @@ type STM struct {
 	WriteInstrCost  uint64 // per-store bookkeeping outside the lock CAS
 	CommitPerWrite  uint64 // per write-set entry during write-back
 	ValidatePerRead uint64 // per read-set entry during validation/extension
-	LockArrayLog2   int    // log2 of the number of lock-array entries
+	LockArrayLog2   int    // log2 of the number of lock-array entries (tinystm, tl2)
+	// Protocol selects the concurrency-control protocol: "tinystm"
+	// (encounter-time locking, the default — "" means the same), "tl2"
+	// (commit-time locking) or "norec" (single sequence lock,
+	// value-based validation, no lock array). See internal/stm.
+	Protocol string
 }
 
 // Energy holds the coefficients of the activity-based package energy model.
@@ -269,6 +276,11 @@ func (c *Config) Validate() error {
 	}
 	if c.STM.LockArrayLog2 < 4 || c.STM.LockArrayLog2 > 28 {
 		return errf("STM lock array log2 out of range: %d", c.STM.LockArrayLog2)
+	}
+	switch c.STM.Protocol {
+	case "", "tinystm", "tl2", "norec":
+	default:
+		return errf("unknown STM protocol %q (want tinystm, tl2 or norec)", c.STM.Protocol)
 	}
 	return nil
 }

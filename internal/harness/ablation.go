@@ -156,7 +156,7 @@ func AblationMemBW(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "ablation-membw",
 		Title:  "DRAM bandwidth model vs the Fig. 3 dip (4MB/thread working sets)",
-		Header: []string{"gap_cycles", "approx_GB/s", "rtm_speedup", "tinystm_speedup"},
+		Header: []string{"gap_cycles", "approx_GB/s", "rtm_speedup", o.backendLabel(tm.STM) + "_speedup"},
 	}
 	gaps := []uint64{0, 8, 16, 32, 64}
 	addRows(t, runner.Map(o.Jobs, len(gaps), func(i int) []string {

@@ -51,7 +51,7 @@ func Claims(w io.Writer, o Options) {
 			spdR := float64(seq.Cycles) / float64(rtm.Cycles)
 			spdS := float64(seq.Cycles) / float64(stm.Cycles)
 			return []claimRow{{"RTM beats TinySTM at small working sets", spdR > spdS,
-				"16KB: rtm " + f2(spdR) + "x vs tinystm " + f2(spdS) + "x"}}
+				"16KB: rtm " + f2(spdR) + "x vs " + o.backendLabel(tm.STM) + " " + f2(spdS) + "x"}}
 		},
 		// 2. "When data contention is low, TinySTM performs better than HTM;
 		//    as contention increases, RTM consistently performs better."
@@ -85,7 +85,7 @@ func Claims(w io.Writer, o Options) {
 			ovR := float64(rtm.Cycles) / float64(seq.Cycles)
 			ovS := float64(stm.Cycles) / float64(seq.Cycles)
 			return []claimRow{{"RTM has lower 1-thread overhead than TinySTM", ovR < ovS,
-				"rtm " + f2(ovR) + "x vs tinystm " + f2(ovS) + "x sequential"}}
+				"rtm " + f2(ovR) + "x vs " + o.backendLabel(tm.STM) + " " + f2(ovS) + "x sequential"}}
 		},
 		// 4. "RTM is more energy-efficient when working sets fit in cache."
 		func(bi int) []claimRow {
@@ -122,7 +122,7 @@ func Claims(w io.Writer, o Options) {
 				o.obsMod(bi, "labyrinth/stm", nil))
 			ok2 := err2 == nil && err == nil && stm.Cycles < res.Cycles
 			rows = append(rows, claimRow{"labyrinth scales under TinySTM but not RTM", ok2,
-				"4t cycles: rtm " + itoa(int(res.Cycles/1e6)) + "M vs tinystm " + itoa(int(stm.Cycles/1e6)) + "M"})
+				"4t cycles: rtm " + itoa(int(res.Cycles/1e6)) + "M vs " + o.backendLabel(tm.STM) + " " + itoa(int(stm.Cycles/1e6)) + "M"})
 			return rows
 		},
 		// 7. Case-study optimizations pay off (Tables IV & V).

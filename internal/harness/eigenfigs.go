@@ -87,7 +87,7 @@ func Fig3(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "Eigenbench working-set size analysis (4 threads, txlen 100)",
-		Header: eigenHeader("ws", "rtm", "tinystm"),
+		Header: eigenHeader("ws", "rtm", o.backendLabel(tm.STM)),
 	}
 	sizes := []int{8 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20, 2 << 20,
 		4 << 20, 8 << 20, 16 << 20}
@@ -117,7 +117,7 @@ func Fig4(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig4",
 		Title:  "Eigenbench transaction length analysis (4 threads)",
-		Header: eigenHeader("txlen", "rtm16K", "rtm256K", "tinystm"),
+		Header: eigenHeader("txlen", "rtm16K", "rtm256K", o.backendLabel(tm.STM)),
 	}
 	lengths := []int{10, 20, 50, 100, 150, 200, 300, 400, 520}
 	if o.Scale == stamp.Test {
@@ -151,7 +151,7 @@ func Fig5(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig5",
 		Title:  "Eigenbench pollution analysis (write fraction, 4 threads, txlen 100)",
-		Header: eigenHeader("pollution", "rtm16K", "rtm256K", "tinystm"),
+		Header: eigenHeader("pollution", "rtm16K", "rtm256K", o.backendLabel(tm.STM)),
 	}
 	pols := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
 	if o.Scale == stamp.Test {
@@ -183,7 +183,7 @@ func Fig6(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Eigenbench temporal locality analysis (4 threads, txlen 100)",
-		Header: eigenHeader("locality", "rtm16K", "rtm256K", "tinystm"),
+		Header: eigenHeader("locality", "rtm16K", "rtm256K", o.backendLabel(tm.STM)),
 	}
 	locs := []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0}
 	if o.Scale == stamp.Test {
@@ -215,7 +215,7 @@ func Fig7(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Eigenbench contention analysis (64KB/thread, 4 threads)",
-		Header: eigenHeader("conflict_prob", "rtm", "tinystm"),
+		Header: eigenHeader("conflict_prob", "rtm", o.backendLabel(tm.STM)),
 	}
 	hots := []int{3000, 1000, 300, 100, 50, 24}
 	if o.Scale == stamp.Test {
@@ -243,7 +243,7 @@ func Fig8(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Eigenbench predominance analysis (256KB/thread, zero contention)",
-		Header: eigenHeader("predominance", "rtm", "tinystm"),
+		Header: eigenHeader("predominance", "rtm", o.backendLabel(tm.STM)),
 	}
 	preds := []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875}
 	if o.Scale == stamp.Test {
@@ -273,7 +273,7 @@ func Fig9(w io.Writer, o Options) {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Eigenbench concurrency analysis (threads 1-8; >4 are hyper-thread siblings)",
-		Header: eigenHeader("threads", "rtm16K", "rtm256K", "tinystm16K"),
+		Header: eigenHeader("threads", "rtm16K", "rtm256K", o.backendLabel(tm.STM)+"16K"),
 	}
 	counts := []int{1, 2, 4, 8}
 	if o.Scale == stamp.Test {

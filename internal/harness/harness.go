@@ -17,6 +17,7 @@ import (
 	"rtmlab/internal/arch"
 	"rtmlab/internal/obs"
 	"rtmlab/internal/stamp"
+	"rtmlab/internal/stm"
 	"rtmlab/internal/tm"
 )
 
@@ -52,6 +53,32 @@ type Options struct {
 	// NoClassifier disables the sharded engine's ownership classifier
 	// (see arch.Sharding); meaningful only with Shards != 0.
 	NoClassifier bool
+	// STMProtocol selects the software-TM concurrency-control protocol
+	// for every STM (and hybrid-fallback) run: "tinystm" (default; ""
+	// means the same), "tl2" or "norec". See internal/stm. Table and
+	// recorder labels resolve the protocol name, so each setting
+	// produces self-describing output; like the engine knobs, each
+	// setting is byte-identical across -j and -shards.
+	STMProtocol string
+}
+
+// stmProtocol resolves the effective protocol name ("" = tinystm).
+func (o Options) stmProtocol() string {
+	if o.STMProtocol == "" {
+		return stm.TinySTMName
+	}
+	return o.STMProtocol
+}
+
+// backendLabel names a backend in table rows, headers and recorder
+// labels, resolving the STM backend to its configured protocol (the
+// default keeps the historical "tinystm" label, so default output is
+// byte-identical).
+func (o Options) backendLabel(b tm.Backend) string {
+	if b == tm.STM {
+		return o.stmProtocol()
+	}
+	return b.String()
 }
 
 // sharding returns the arch.Sharding the options describe.
@@ -60,11 +87,12 @@ func (o Options) sharding() arch.Sharding {
 }
 
 // Machine returns the simulated machine description with the options'
-// engine sharding applied. Experiments construct configs through this so
-// -shards reaches every point.
+// engine sharding and STM protocol applied. Experiments construct
+// configs through this so -shards and -stm-protocol reach every point.
 func (o Options) Machine() *arch.Config {
 	cfg := arch.Haswell()
 	cfg.Shard = o.sharding()
+	cfg.STM.Protocol = o.STMProtocol
 	return cfg
 }
 
@@ -73,11 +101,12 @@ func (o Options) Machine() *arch.Config {
 // With observability and sharding both off it returns mod unchanged, so
 // call sites pay nothing.
 func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.System) {
-	if o.Obs == nil && o.Shards == 0 && o.EpochCycles == 0 {
+	if o.Obs == nil && o.Shards == 0 && o.EpochCycles == 0 && o.STMProtocol == "" {
 		return mod
 	}
 	return func(sys *tm.System) {
 		sys.Arch.Shard = o.sharding()
+		sys.Arch.STM.Protocol = o.STMProtocol
 		if mod != nil {
 			mod(sys)
 		}
@@ -92,6 +121,7 @@ func (o Options) obsMod(point int, label string, mod func(*tm.System)) func(*tm.
 func (o Options) obsSystem(cfg func() *tm.System, point int, label string) *tm.System {
 	sys := cfg()
 	sys.Arch.Shard = o.sharding()
+	sys.Arch.STM.Protocol = o.STMProtocol
 	if o.Obs != nil {
 		sys.SetRecorder(o.Obs.Recorder(point, label))
 	}

@@ -19,7 +19,7 @@ func HybridStudy(w io.Writer, o Options) {
 	t := &Table{
 		ID:    "hybrid",
 		Title: "Algorithm-1 lock fallback vs hybrid TinySTM fallback (normalized time, 4 threads)",
-		Header: []string{"app", "rtm+lock", "rtm+stm", "tinystm",
+		Header: []string{"app", "rtm+lock", "rtm+stm", o.backendLabel(tm.STM),
 			"lock_fallbacks", "stm_fallbacks"},
 	}
 	apps := []func() stamp.Benchmark{
@@ -42,7 +42,7 @@ func HybridStudy(w io.Writer, o Options) {
 		}
 		norm := func(backend tm.Backend) (string, stamp.Result) {
 			res, err := stamp.Run(mk(), backend, 4, 42,
-				o.obsMod(i, name+"/"+backend.String(), nil))
+				o.obsMod(i, name+"/"+o.backendLabel(backend), nil))
 			if err != nil {
 				return "ERR", res
 			}

@@ -94,7 +94,7 @@ func Fig10to12(w io.Writer, o Options) {
 				failed := false
 				for s := 0; s < seeds; s++ {
 					res, err := stamp.Run(mk(), backend, n, 42+uint64(97*s),
-						o.obsMod(ai, name+"/"+backend.String()+"/"+itoa(n)+"t/s"+itoa(s), nil))
+						o.obsMod(ai, name+"/"+o.backendLabel(backend)+"/"+itoa(n)+"t/s"+itoa(s), nil))
 					if err != nil {
 						out.errs = append(out.errs, fmt.Sprintf("  ! %s/%v/%d: %v", name, backend, n, err))
 						failed = true
@@ -131,9 +131,9 @@ func Fig10to12(w io.Writer, o Options) {
 				}
 			}
 			out.timeRows = append(out.timeRows,
-				append([]string{name, backend.String()}, pad(tRow)...))
+				append([]string{name, o.backendLabel(backend)}, pad(tRow)...))
 			out.energyRows = append(out.energyRows,
-				append([]string{name, backend.String()}, pad(eRow)...))
+				append([]string{name, o.backendLabel(backend)}, pad(eRow)...))
 		}
 		return out
 	})

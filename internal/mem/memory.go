@@ -111,3 +111,20 @@ func (m *Memory) Write(addr uint64, val int64) {
 
 // Pages returns the number of materialised pages (for tests/diagnostics).
 func (m *Memory) Pages() int { return m.npages }
+
+// PagesIn counts the materialised pages intersecting the address range
+// [lo, hi) — diagnostics, e.g. proving an STM protocol never touches the
+// lock-array range. The scan walks page numbers in address order (never
+// map order), so it is deterministic.
+func (m *Memory) PagesIn(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	n := 0
+	for pn := lo >> pageShift; pn <= (hi-1)>>pageShift; pn++ {
+		if m.page(pn<<pageShift, false) != nil {
+			n++
+		}
+	}
+	return n
+}

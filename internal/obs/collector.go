@@ -23,22 +23,26 @@ type Collector struct {
 	recs []*Recorder
 	subs map[[2]int]int // (exp, point) -> next sub index
 
-	// Run configuration stamped into the timing sidecars (see
-	// SetRunConfig); zero values mean the classic serial engine.
+	// Run configuration stamped into the sidecars (see SetRunConfig);
+	// zero values mean the classic serial engine and the default
+	// (tinystm) protocol.
 	shards       int
 	epochCycles  uint64
 	noClassifier bool
+	stmProtocol  string
 }
 
-// SetRunConfig records the engine configuration of the run so the
-// timing sidecars are self-describing: shards and the effective epoch
-// length in simulated cycles, plus whether the ownership classifier was
-// disabled. Host wall-clock depends on all three, so a sidecar without
-// them cannot be compared across runs.
-func (c *Collector) SetRunConfig(shards int, epochCycles uint64, noClassifier bool) {
+// SetRunConfig records the run configuration so the sidecars are
+// self-describing: shards and the effective epoch length in simulated
+// cycles, whether the ownership classifier was disabled, and the STM
+// protocol when it is not the default ("" for tinystm). Host wall-clock
+// depends on the engine knobs, and semantic metrics depend on the
+// protocol, so a sidecar without them cannot be compared across runs.
+func (c *Collector) SetRunConfig(shards int, epochCycles uint64, noClassifier bool, stmProtocol string) {
 	c.shards = shards
 	c.epochCycles = epochCycles
 	c.noClassifier = noClassifier
+	c.stmProtocol = stmProtocol
 }
 
 // NewCollector returns a collector whose recorders keep at most limit

@@ -147,8 +147,13 @@ type RecorderJSON struct {
 type MetricsJSON struct {
 	Schema     string         `json:"schema"`
 	Experiment string         `json:"experiment"`
-	Recorders  []RecorderJSON `json:"recorders"`
-	Aggregate  *RecorderJSON  `json:"aggregate,omitempty"`
+	// STMProtocol names the software-TM protocol of the run when it is
+	// not the default ("tl2", "norec") so sidecars from protocol-matrix
+	// runs are self-describing; absent for tinystm/default runs, which
+	// keeps those bytes identical to earlier schema versions.
+	STMProtocol string         `json:"stm_protocol,omitempty"`
+	Recorders   []RecorderJSON `json:"recorders"`
+	Aggregate   *RecorderJSON  `json:"aggregate,omitempty"`
 }
 
 func causeMap(v *[NumCauses]uint64) map[string]uint64 {
@@ -323,6 +328,7 @@ type TimingDoc struct {
 	Shards       int          `json:"shards,omitempty"`
 	EpochCycles  uint64       `json:"epoch_cycles,omitempty"`
 	NoClassifier bool         `json:"no_classifier,omitempty"`
+	STMProtocol  string       `json:"stm_protocol,omitempty"`
 	Points       []TimingJSON `json:"points"`
 }
 
@@ -371,7 +377,9 @@ func docFor(g expGroup) MetricsJSON {
 func (c *Collector) metricsByExperiment() []MetricsJSON {
 	var docs []MetricsJSON
 	for _, g := range c.groups() {
-		docs = append(docs, docFor(g))
+		doc := docFor(g)
+		doc.STMProtocol = c.stmProtocol
+		docs = append(docs, doc)
 	}
 	return docs
 }
@@ -412,6 +420,7 @@ func (c *Collector) WriteMetrics(dir string) error {
 	seen := map[string]int{}
 	for _, g := range c.groups() {
 		doc := docFor(g)
+		doc.STMProtocol = c.stmProtocol
 		name := doc.Experiment
 		if name == "" {
 			name = "run"
@@ -439,6 +448,7 @@ func (c *Collector) WriteMetrics(dir string) error {
 			td.Shards = c.shards
 			td.EpochCycles = c.epochCycles
 			td.NoClassifier = c.noClassifier
+			td.STMProtocol = c.stmProtocol
 			data, err := json.MarshalIndent(td, "", "  ")
 			if err != nil {
 				return err

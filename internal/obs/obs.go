@@ -47,8 +47,16 @@ const (
 	CauseInterrupt
 	CausePageFault
 	CauseNestDepth
-	CauseLocked     // STM encounter-time lock conflict
-	CauseValidation // STM snapshot validation failure
+	// CauseLocked is an STM lock conflict: encounter-time under tinystm
+	// (first write to a contended word), commit-time under tl2 (lock
+	// acquisition inside the commit window). NOrec has no locks and
+	// never reports it — its conflicts all surface as CauseValidation.
+	CauseLocked
+	// CauseValidation is a failed STM snapshot check: version-based
+	// under tinystm (extension failure) and tl2 (read-time version or
+	// commit-time read-set check), value-based under norec (a re-read
+	// returned a different value).
+	CauseValidation
 	NumCauses
 )
 

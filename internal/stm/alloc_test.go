@@ -7,26 +7,32 @@ import (
 	"rtmlab/internal/sim"
 )
 
-// TestTxnCycleZeroAlloc pins the //rtm:hot contract on the STM hot path:
-// after one warm-up transaction establishes read/write/owned log
-// capacity, an uncontended begin/load/store/commit cycle allocates
-// nothing (the logs clear by reslicing, the indexes by lineset epoch).
+// TestTxnCycleZeroAlloc pins the //rtm:hot contract on the STM hot path
+// for every protocol: after one warm-up transaction establishes
+// read/write/owned log capacity, an uncontended begin/load/store/commit
+// cycle allocates nothing (the logs clear by reslicing, the indexes by
+// lineset epoch, and the resolved Protocol is a value held in System —
+// no per-call boxing).
 func TestTxnCycleZeroAlloc(t *testing.T) {
-	cfg, h, sys := newSys()
-	sim.Run(cfg, h, 1, 1, nil, func(p *sim.Proc) {
-		const lines = 64
-		tx := sys.Attach(p)
-		cycle := func() {
-			tx.Begin()
-			for i := 0; i < lines; i++ {
-				tx.Load(uint64(i) * arch.LineSize)
-				tx.Store(uint64(i)*arch.LineSize, int64(i))
-			}
-			tx.Commit()
-		}
-		cycle() // warm: logs and lock indexes reach the high-water mark
-		if n := testing.AllocsPerRun(50, cycle); n != 0 {
-			t.Errorf("stm txn cycle allocates %v allocs/run at steady state", n)
-		}
-	})
+	for _, proto := range Protocols() {
+		t.Run(proto, func(t *testing.T) {
+			cfg, h, sys := newProtoSys(proto)
+			sim.Run(cfg, h, 1, 1, nil, func(p *sim.Proc) {
+				const lines = 64
+				tx := sys.Attach(p)
+				cycle := func() {
+					tx.Begin()
+					for i := 0; i < lines; i++ {
+						tx.Load(uint64(i) * arch.LineSize)
+						tx.Store(uint64(i)*arch.LineSize, int64(i))
+					}
+					tx.Commit()
+				}
+				cycle() // warm: logs and lock indexes reach the high-water mark
+				if n := testing.AllocsPerRun(50, cycle); n != 0 {
+					t.Errorf("%s txn cycle allocates %v allocs/run at steady state", proto, n)
+				}
+			})
+		})
+	}
 }

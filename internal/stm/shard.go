@@ -1,24 +1,27 @@
-// Shard-mode TinySTM: how the STM runs under the epoch-synchronized
+// Shard-mode STM: how the protocols run under the epoch-synchronized
 // sharded engine (internal/sim, shard.go).
 //
-// TinySTM's metadata lives in simulated memory, so most of the protocol
-// already works against the frozen epoch view: reads sample lock words
-// and data from the last boundary's state, which is exactly the
+// STM metadata lives in simulated memory, so most of each protocol
+// already works against the frozen epoch view: reads sample metadata
+// words and data from the last boundary's state, which is exactly the
 // epoch-consistency the sharded engine defines. Three pieces need care:
 //
-//   - Lock acquisition (encounter-time CAS) and the commit sequence
-//     (clock fetch-and-increment, validation, write-back, lock release)
-//     rely on Peek+Store atomicity. They run as exclusive boundary
-//     operations — the pre-bound fns below execute the unmodified legacy
-//     sequences serially at the thread's park cycle, so the cycle costs
-//     match the classic engine exactly (the differential tests depend on
-//     this).
-//   - Abort releases encounter-time locks with plain stores; those are
-//     buffered and land at the boundary in cycle order, before any retry
+//   - Every sequence that relies on Peek+Store atomicity runs as an
+//     exclusive boundary operation: tinystm's encounter-time lock CAS
+//     and its commit, tl2's whole commit (lock acquisition through
+//     release), and norec's whole commit (so the odd sequence-lock
+//     state is never frozen into an epoch view). The closures are
+//     pre-bound per protocol (Protocol.shardInit) and execute the
+//     unmodified serial sequences at the thread's park cycle, so the
+//     cycle costs match the classic engine exactly (the differential
+//     tests depend on this).
+//   - Abort releases held locks with plain stores; those are buffered
+//     and land at the boundary in cycle order, before any retry
 //     attempt's acquisitions (whose issue cycles are later).
 //   - Counters and recorder traffic from the parallel phase go to
 //     per-thread staging sets / deferred recorder ops; boundary-context
 //     increments hit the shared set directly.
+
 package stm
 
 import (
@@ -26,10 +29,10 @@ import (
 	"rtmlab/internal/sim"
 )
 
-// initShard wires the shard-mode state for tx (called from Attach when
-// the proc runs under the sharded engine): per-thread counter staging
-// and the pre-bound exclusive fns (parameters pass through sAddr/sVer so
-// the hot paths stay allocation-free).
+// initShard wires the shard-mode counter staging for tx (called from
+// Attach when the proc runs under the sharded engine); the protocol's
+// shardInit binds the exclusive fns (parameters pass through sAddr/sVer
+// so the hot paths stay allocation-free).
 func (s *System) initShard(p *sim.Proc, tx *Txn) {
 	if s.stage == nil {
 		s.stage = make([]*perf.Set, s.cfg.MaxThreads())
@@ -38,8 +41,6 @@ func (s *System) initShard(p *sim.Proc, tx *Txn) {
 	if s.stage[tid] == nil {
 		s.stage[tid] = perf.NewSet()
 	}
-	tx.acquireFn = func() { tx.acquireSlow() }
-	tx.commitFn = func() { tx.commitSlow() }
 }
 
 // cnt returns the counter set for t's current context: per-thread

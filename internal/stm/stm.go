@@ -1,27 +1,30 @@
-// Package stm reimplements TinySTM (Felber, Fetzer, Marlier, Riegel:
-// "Time-Based Software Transactional Memory") — the word-based, time-based
-// software TM the paper compares RTM against.
+// Package stm implements software transactional memory over the
+// simulated machine, with pluggable concurrency-control protocols
+// behind the Protocol interface:
 //
-// The implementation follows TinySTM's write-back, encounter-time-locking
-// design:
+//   - tinystm (default): TinySTM-style encounter-time locking with
+//     time-based opacity — a global version clock and a 2^k-entry
+//     versioned-lock array (see tinystm.go). This is the protocol the
+//     paper compares RTM against.
+//   - tl2: TL2-style commit-time locking — same clock and lock array,
+//     but writes stay buffered and locks are taken only inside the
+//     commit window (see tl2.go).
+//   - norec: NOrec — one global sequence lock and value-based read-set
+//     validation; no lock array, hence no false-conflict wall (see
+//     norec.go).
 //
-//   - A global version clock and a 2^k-entry versioned-lock array. Both
-//     live in *simulated* memory, so the cache traffic and coherence
-//     ping-pong they cause (the clock line shared by every thread, the
-//     lock lines bouncing between writers) are modelled for real — these
-//     are exactly the overheads the paper attributes TinySTM's
-//     instrumentation costs and false conflicts to.
-//   - Reads sample the lock, read the value, revalidate the lock, and
-//     extend the snapshot when a newer version is seen (time-based
-//     opacity).
-//   - Writes acquire the versioned lock at encounter time and buffer the
-//     value until commit (write-back).
-//   - Conflicts (lock held by another transaction, failed validation) abort
-//     the transaction, which retries after a bounded exponential backoff.
-//   - False conflicts arise naturally when distinct addresses hash to the
-//     same lock entry — with the default 2^21 entries the lock array covers
-//     16 MB of distinct words, which is where the paper observes TinySTM's
-//     false-conflict rate rising sharply.
+// All protocol metadata lives in *simulated* memory above MetaBase, so
+// the cache traffic and coherence ping-pong it causes (the clock or
+// sequence-lock line shared by every thread, lock lines bouncing
+// between writers) are modelled for real — these are exactly the
+// overheads the paper attributes TinySTM's instrumentation costs and
+// false conflicts to, and exactly where the protocols differ.
+//
+// The shared Txn dispatcher owns the write buffer (ordered log +
+// open-addressed index, read-own-write), the abort/backoff path, the
+// counters and the shard-mode plumbing; protocols implement the
+// begin/load/store/commit steps. Select a protocol by name through
+// arch.Config.STM.Protocol ("" = tinystm).
 package stm
 
 import (
@@ -42,9 +45,9 @@ const MetaBase uint64 = 1 << 36
 
 // Abort is the panic value used to unwind an aborted transaction body.
 // By is the aggressor thread — recovered from the owner tid encoded in
-// the conflicting lock word on encounter-time conflicts — and Addr the
-// conflicting lock-word address; -1/0 when unknown (validation aborts,
-// voluntary restarts, faults). They feed the obs layer's blame graph.
+// the conflicting lock word on lock conflicts — and Addr the conflicting
+// metadata address; -1/0 when unknown (validation aborts, voluntary
+// restarts, faults). They feed the obs layer's blame graph.
 type Abort struct {
 	Reason Reason
 	By     int
@@ -58,7 +61,11 @@ type Reason uint8
 
 const (
 	ReasonNone Reason = iota
+	// ReasonLocked is a lock conflict: encounter-time under tinystm,
+	// commit-time under tl2. NOrec has no locks and never reports it.
 	ReasonLocked
+	// ReasonValidation is a failed snapshot check: version-based under
+	// tinystm/tl2, value-based under norec.
 	ReasonValidation
 	// ReasonFault marks an attempt torn down because its body raised a
 	// runtime fault on an inconsistent (doomed) read view; see Txn.Fault.
@@ -111,12 +118,14 @@ type ownedEntry struct {
 	version  uint64
 }
 
-// System is the machine-wide TinySTM instance.
+// System is the machine-wide STM instance (one protocol per system).
 type System struct {
 	cfg      *arch.Config
 	h        *mem.Hierarchy
 	pt       *vm.PageTable
 	Counters *perf.Set
+
+	proto Protocol
 
 	clockAddr uint64
 	lockBase  uint64
@@ -130,7 +139,8 @@ type System struct {
 	stage []*perf.Set
 }
 
-// NewSystem builds a TinySTM over the hierarchy. pt may be nil.
+// NewSystem builds an STM over the hierarchy, running the protocol
+// selected by cfg.STM.Protocol ("" = tinystm). pt may be nil.
 func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
 	return &System{
 		cfg:        cfg,
@@ -144,6 +154,22 @@ func NewSystem(cfg *arch.Config, h *mem.Hierarchy, pt *vm.PageTable) *System {
 	}
 }
 
+// Protocol returns the system's concurrency-control protocol, resolving
+// cfg.STM.Protocol on first use (harness modifiers run between NewSystem
+// and the first Attach).
+func (s *System) Protocol() Protocol {
+	if s.proto == nil {
+		s.proto = protocolFor(s.cfg.STM.Protocol)
+	}
+	return s.proto
+}
+
+// LockRange returns the simulated address range [lo, hi) of the
+// versioned-lock array (diagnostics: norec must never touch it).
+func (s *System) LockRange() (lo, hi uint64) {
+	return s.lockBase, s.lockBase + (s.lockMask+1)*arch.WordSize
+}
+
 // lockOf maps a data address to its versioned-lock address.
 //
 //rtm:hot
@@ -153,21 +179,25 @@ func (s *System) lockOf(addr uint64) uint64 {
 }
 
 // Lock-word encoding: bit 0 = locked; locked words carry the owner tid in
-// bits 1..16, unlocked words carry version << 1.
+// bits 1..16, unlocked words carry version << 1. NOrec's sequence lock
+// uses the raw value instead (even = quiescent, odd = writer committing).
 func lockedWord(tid int) int64   { return int64(tid)<<1 | 1 }
 func isLocked(w int64) bool      { return w&1 == 1 }
 func lockOwner(w int64) int      { return int(w >> 1) }
 func versionWord(v uint64) int64 { return int64(v << 1) }
 func wordVersion(w int64) uint64 { return uint64(w) >> 1 }
 
-// Txn is the per-thread transaction descriptor.
+// Txn is the per-thread transaction descriptor. It carries the union of
+// the protocols' sets: reads (lock/version pairs: tinystm, tl2), vreads
+// (address/value pairs: norec), the write buffer and the owned-lock log.
 type Txn struct {
 	sys    *System
 	proc   *sim.Proc
 	active bool
 
-	rv       uint64 // read/snapshot version
+	rv       uint64 // snapshot: clock version (tinystm/tl2) or raw seqlock (norec)
 	reads    []readEntry
+	vreads   []valEntry
 	writes   []writeEntry
 	writeIdx *lineset.Table[int32] // data addr -> index into writes
 	owned    []ownedEntry
@@ -184,6 +214,7 @@ type Txn struct {
 
 // Attach returns a fresh transaction descriptor for a proc.
 func (s *System) Attach(p *sim.Proc) *Txn {
+	proto := s.Protocol()
 	tx := &Txn{
 		sys:      s,
 		proc:     p,
@@ -192,6 +223,7 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 	}
 	if p.Sharded() {
 		s.initShard(p, tx)
+		proto.shardInit(tx)
 	}
 	return tx
 }
@@ -199,14 +231,16 @@ func (s *System) Attach(p *sim.Proc) *Txn {
 // Active reports whether a transaction is in flight.
 func (t *Txn) Active() bool { return t.active }
 
-// ReadSetSize returns the number of read-set entries.
-func (t *Txn) ReadSetSize() int { return len(t.reads) }
+// ReadSetSize returns the number of read-set entries (version-based
+// plus value-based).
+func (t *Txn) ReadSetSize() int { return len(t.reads) + len(t.vreads) }
 
 // WriteSetSize returns the number of buffered writes.
 func (t *Txn) WriteSetSize() int { return len(t.writes) }
 
-// Begin starts a transaction: sample the global clock (a real, timed load —
-// the clock line is the classic TinySTM scalability bottleneck).
+// Begin starts a transaction: the protocol establishes its snapshot
+// (a real, timed metadata load — the clock or sequence-lock line is the
+// classic STM scalability bottleneck).
 func (t *Txn) Begin() {
 	if t.active {
 		panic("stm: nested Begin (flatten in the tm layer)")
@@ -214,16 +248,17 @@ func (t *Txn) Begin() {
 	s := t.sys
 	t.proc.AddCycles(s.cfg.STM.TxBeginCost)
 	t.proc.AddInstr(4)
-	t.rv = uint64(t.proc.Load(s.clockAddr)) >> 1
+	s.proto.Begin(t)
 	t.active = true
 	t.reads = t.reads[:0]
+	t.vreads = t.vreads[:0]
 	t.cnt().Inc("stm:begin")
 }
 
-// abort releases encounter-time locks, applies backoff and unwinds. In
-// the shard parallel phase the lock-release stores are buffered and land
-// at the boundary in cycle order — before any retry's acquisitions.
-// by/addr carry the aggressor thread and conflicting lock word into the
+// abort releases held locks, applies backoff and unwinds. In the shard
+// parallel phase the lock-release stores are buffered and land at the
+// boundary in cycle order — before any retry's acquisitions. by/addr
+// carry the aggressor thread and conflicting metadata word into the
 // Abort value (-1/0 when unknown).
 func (t *Txn) abort(reason Reason, by int, addr uint64) {
 	t.rollback(reason)
@@ -245,6 +280,8 @@ func (t *Txn) Fault() (a Abort, ok bool) {
 }
 
 // rollback is abort without the unwind: release locks, count, back off.
+// Protocols that hold no locks at abort time (tl2 outside commit, norec
+// always) have an empty owned log, so the release loop is a no-op.
 func (t *Txn) rollback(reason Reason) {
 	s := t.sys
 	for _, oe := range t.owned {
@@ -280,9 +317,12 @@ func (t *Txn) rollback(reason Reason) {
 	t.proc.AddCycles(backoff)
 }
 
-// validate checks that every read entry is still consistent at this
-// instant. Lock words are peeked (they are almost always cache-resident
-// for the validating thread; the time cost is charged explicitly).
+// validate checks that every version-based read entry is still
+// consistent at this instant, tolerating locks this transaction already
+// held when the entry was recorded (tinystm's encounter-time discipline;
+// tl2 commit validation uses validateTL2 instead). Lock words are peeked
+// (they are almost always cache-resident for the validating thread; the
+// time cost is charged explicitly).
 func (t *Txn) validate() bool {
 	s := t.sys
 	t.proc.AddCycles(uint64(len(t.reads)) * s.cfg.STM.ValidatePerRead)
@@ -311,7 +351,7 @@ func (t *Txn) noteValidationFail() {
 // the clock and revalidate.
 func (t *Txn) extend() bool {
 	s := t.sys
-	now := uint64(t.proc.Load(s.clockAddr)) >> 1
+	now := wordVersion(t.proc.Load(s.clockAddr))
 	if !t.validate() {
 		return false
 	}
@@ -321,7 +361,8 @@ func (t *Txn) extend() bool {
 	return true
 }
 
-// Load performs a transactional read.
+// Load performs a transactional read: read-own-write from the write
+// buffer, then the protocol's read path.
 //
 //rtm:hot
 func (t *Txn) Load(addr uint64) int64 {
@@ -334,43 +375,11 @@ func (t *Txn) Load(addr uint64) int64 {
 	if i, ok := t.writeIdx.Get(addr); ok {
 		return t.writes[i].val // read-own-write from the write buffer
 	}
-	lockAddr := s.lockOf(addr)
-	for {
-		// The lock read is independent of the data read, so its latency
-		// overlaps (ILP); the cache still sees the access.
-		w := t.proc.LoadOverlapped(lockAddr)
-		if isLocked(w) {
-			if t.ownedIdx.Contains(lockAddr) {
-				// Lock owned by us for a colliding address; memory still
-				// holds the committed value (write-back).
-				if s.pt != nil {
-					s.pt.Service(t.proc, addr)
-				}
-				return t.proc.Load(addr)
-			}
-			t.abort(ReasonLocked, lockOwner(w), lockAddr)
-		}
-		ver := wordVersion(w)
-		if ver > t.rv {
-			if !t.extend() {
-				t.abort(ReasonValidation, -1, lockAddr)
-			}
-		}
-		if s.pt != nil {
-			s.pt.Service(t.proc, addr)
-		}
-		v := t.proc.Load(addr)
-		// Revalidate: the lock must be unchanged across the data read.
-		if t.proc.PeekShared(lockAddr) != w {
-			continue
-		}
-		t.reads = append(t.reads, readEntry{lockAddr: lockAddr, version: ver})
-		return v
-	}
+	return s.proto.Load(t, addr)
 }
 
-// Store performs a transactional write: acquire the versioned lock at
-// encounter time, buffer the value.
+// Store performs a transactional write: update an existing write-buffer
+// entry in place, then the protocol's write path.
 //
 //rtm:hot
 func (t *Txn) Store(addr uint64, val int64) {
@@ -384,63 +393,7 @@ func (t *Txn) Store(addr uint64, val int64) {
 		t.writes[i].val = val
 		return
 	}
-	lockAddr := s.lockOf(addr)
-	if t.ownedIdx.Contains(lockAddr) {
-		t.putWrite(addr, val)
-		return
-	}
-	t.sAddr = lockAddr
-	if t.proc.ShardActive() {
-		// Locked-abort fast path (ownership classifier): when the epoch
-		// view already shows a holder, the acquisition is doomed under
-		// this epoch's frozen state — abort right here with the same
-		// timed lock-word read acquireSlow would charge, instead of
-		// parking the whole attempt for the boundary. A holder that
-		// releases at an earlier boundary slot would have let the parked
-		// CAS win; the local abort trades that near-miss for keeping the
-		// spin-retry loop (backoff, re-read of the cached lock line)
-		// entirely inside the epoch.
-		if w := t.proc.PeekShared(lockAddr); s.cfg.Shard.Classifier() && isLocked(w) {
-			t.proc.Load(lockAddr)
-			t.abort(ReasonLocked, lockOwner(w), lockAddr)
-		}
-		// The CAS needs Peek+Store atomicity against the live lock word;
-		// park it as an exclusive boundary op (acquireSlow, unchanged).
-		t.proc.Exclusive(t.acquireFn)
-	} else {
-		t.acquireSlow()
-	}
-	t.ownedIdx.Put(lockAddr, int32(len(t.owned)))
-	t.owned = append(t.owned, ownedEntry{lockAddr: lockAddr, version: t.sVer})
-	t.putWrite(addr, val)
-}
-
-// acquireSlow runs the encounter-time lock acquisition for the lock word
-// in t.sAddr, leaving the pre-acquisition version in t.sVer. Under the
-// sharded engine it executes serially at an epoch boundary; the sequence
-// (and its cycle charges) is identical either way.
-func (t *Txn) acquireSlow() {
-	s := t.sys
-	lockAddr := t.sAddr
-	for {
-		w := t.proc.Load(lockAddr)
-		if isLocked(w) {
-			t.abort(ReasonLocked, lockOwner(w), lockAddr) // encounter-time conflict
-		}
-		ver := wordVersion(w)
-		if ver > t.rv && !t.extend() {
-			t.abort(ReasonValidation, -1, lockAddr)
-		}
-		// CAS emulation: the timed load above yielded, so the word may
-		// have changed; Peek and the store below are atomic (no yield in
-		// between), so an unchanged word means the CAS wins.
-		if s.h.Peek(lockAddr) != w {
-			continue
-		}
-		t.proc.Store(lockAddr, lockedWord(t.proc.ID()))
-		t.sVer = ver
-		return
-	}
+	s.proto.Store(t, addr, val)
 }
 
 // putWrite appends addr/val to the ordered write log and indexes it.
@@ -451,8 +404,9 @@ func (t *Txn) putWrite(addr uint64, val int64) {
 	t.writes = append(t.writes, writeEntry{addr: addr, val: val})
 }
 
-// Commit validates the read set, publishes buffered writes and releases
-// the locks with a new version from the global clock.
+// Commit publishes the transaction: read-only commits are free under
+// all three protocols (the snapshot is already consistent); writing
+// commits run the protocol's commit sequence.
 func (t *Txn) Commit() {
 	if !t.active {
 		panic("stm: Commit outside transaction")
@@ -466,49 +420,7 @@ func (t *Txn) Commit() {
 		t.cnt().Inc("stm:commit")
 		return
 	}
-	if t.proc.ShardActive() {
-		// Clock increment, validation, write-back and lock release form
-		// one atomic sequence; park it as an exclusive boundary op.
-		t.proc.Exclusive(t.commitFn)
-		return
-	}
-	t.commitSlow()
-}
-
-// commitSlow is the writing-commit sequence. Under the sharded engine it
-// executes serially at an epoch boundary; the sequence (and its cycle
-// charges) is identical either way.
-func (t *Txn) commitSlow() {
-	s := t.sys
-	// Increment the global clock (timed load+store modelling the
-	// contended fetch-and-increment; Peek+Store is the atomic step).
-	var cv uint64
-	for {
-		old := t.proc.Load(s.clockAddr)
-		if s.h.Peek(s.clockAddr) != old {
-			continue
-		}
-		cv = wordVersion(old) + 1
-		t.proc.Store(s.clockAddr, versionWord(cv))
-		break
-	}
-	if cv > t.rv+1 && !t.validate() {
-		t.abort(ReasonValidation, -1, 0)
-	}
-	// Publish the write-back buffer in program order.
-	for _, we := range t.writes {
-		if s.pt != nil {
-			s.pt.Service(t.proc, we.addr)
-		}
-		t.proc.AddCycles(s.cfg.STM.CommitPerWrite)
-		t.proc.Store(we.addr, we.val)
-	}
-	// Release locks with the commit version, in acquisition order.
-	for _, oe := range t.owned {
-		t.proc.Store(oe.lockAddr, versionWord(cv))
-	}
-	t.finish()
-	s.Counters.Inc("stm:commit")
+	s.proto.Commit(t)
 }
 
 func (t *Txn) finish() {
@@ -523,6 +435,7 @@ func (t *Txn) clearSets() {
 	t.writes = t.writes[:0]
 	t.owned = t.owned[:0]
 	t.reads = t.reads[:0]
+	t.vreads = t.vreads[:0]
 }
 
 // AbortVoluntarily aborts the current transaction (STAMP's restart).

@@ -33,6 +33,15 @@ awk -v nproc="$(nproc 2>/dev/null || echo '?')" \
            if (s8 > 0 && s8off > 0)
              printf "bench: classifier on vs off at shards=8: %.2fx wall-clock\n", s8off/s8 }' "$tmp"
 
+echo "== stm protocol throughput (tinystm vs tl2 vs norec) =="
+# One snapshot line per concurrency-control protocol on the same
+# contended STM region: the wall-clock cost of each protocol's metadata
+# work (encounter-time lock CAS, commit-time locking, value
+# revalidation). Simulated cycle totals differ by design — the tracked
+# metric is host ns/op per protocol, PR over PR.
+go test -run '^$' -bench BenchmarkSTMProtocolThroughput -benchmem -benchtime 3x \
+    ./internal/tm | tee -a "$tmp"
+
 echo "== per-figure benchmarks (one iteration each) =="
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee -a "$tmp"
 

@@ -66,6 +66,22 @@ cmp "$obsdir/out1off.txt" "$obsdir/out4off.txt"
 # classic and sharded engines time threads differently by design.
 go run ./cmd/rtmlab -scale test -seeds 1 table4 > /dev/null
 
+echo "== stm protocol smoke (tinystm/tl2/norec, traced point each) =="
+# One traced STM-exercising point per -stm-protocol setting: the trace
+# and metrics sidecar must validate for every protocol, and each setting
+# is its own byte-identity class across -j (shard invariance per
+# protocol is pinned by TestProtocolMatrixDeterminism). The hybrid study
+# covers both resolution paths: the STM backend and the hybrid fallback.
+for proto in tinystm tl2 norec; do
+    go run ./cmd/rtmlab -scale test -seeds 1 -j 1 -stm-protocol "$proto" \
+        -trace "$obsdir/trace-$proto.json" -metrics "$obsdir/metrics-$proto" \
+        hybrid > "$obsdir/hybrid-$proto-j1.txt"
+    go run ./cmd/tracecheck -metrics "$obsdir/metrics-$proto/hybrid.json" "$obsdir/trace-$proto.json"
+    go run ./cmd/rtmlab -scale test -seeds 1 -j 8 -stm-protocol "$proto" \
+        hybrid > "$obsdir/hybrid-$proto-j8.txt"
+    cmp "$obsdir/hybrid-$proto-j1.txt" "$obsdir/hybrid-$proto-j8.txt"
+done
+
 echo "== rtmreport smoke (causal report + run diff gate) =="
 # The causal report must render from both sidecars produced above, and
 # the run-diff observatory must verify the classifier invariant the

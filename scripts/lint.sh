@@ -17,4 +17,12 @@ if [ "$#" -eq 0 ]; then
 fi
 
 go vet ./...
+
+# godoc smoke: the core library packages must keep resolvable package
+# documentation — `go doc` fails if a package comment is lost or a
+# doc-breaking parse error slips in.
+for pkg in ./internal/stm ./internal/tm ./internal/lineset; do
+    go doc "$pkg" > /dev/null
+done
+
 exec go run ./cmd/rtmvet "$@"
