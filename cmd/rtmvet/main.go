@@ -6,20 +6,24 @@
 //
 // Usage:
 //
-//	rtmvet [-json] [-fix] [-passes p1,p2] [-disable p1] [packages]
+//	rtmvet [-json] [-fix] [-passes p1,p2] [-disable p1] [-tags t1,t2] [packages]
 //
 // Packages are directories or ./...-style patterns (default ./...).
 // Exit status: 0 clean, 1 findings, 2 load/usage errors.
 //
 // Findings can be suppressed per line with "//rtmvet:ignore <reason>";
 // the reason is mandatory. -fix rewrites sortable map ranges to iterate
-// detsort.Keys. -json emits the findings as a JSON array.
+// detsort.Keys. -json emits the findings as a JSON array of objects with
+// the stable field set {pass, kind, file, line, col, message}. -tags
+// adds build tags to file selection; _test.go files are never analyzed
+// (the dynamic suite owns them).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,6 +34,19 @@ func main() {
 	os.Exit(run())
 }
 
+// writeJSON emits findings as an indented JSON array. The field set
+// {pass, kind, file, line, col, message} is a stable schema that CI
+// annotation tooling depends on; changing it is a breaking change
+// (see the golden test).
+func writeJSON(w io.Writer, all []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if all == nil {
+		all = []analysis.Diagnostic{}
+	}
+	return enc.Encode(all)
+}
+
 func run() int {
 	var (
 		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON")
@@ -37,6 +54,7 @@ func run() int {
 		passes  = flag.String("passes", "", "comma-separated passes to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated passes to skip")
 		list    = flag.Bool("list", false, "list available passes and exit")
+		tags    = flag.String("tags", "", "comma-separated build tags honored during file selection")
 	)
 	flag.Parse()
 
@@ -64,6 +82,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
 		return 2
+	}
+	if *tags != "" {
+		loader.SetBuildTags(strings.Split(*tags, ","))
 	}
 	dirs, err := loader.Expand(patterns)
 	if err != nil {
@@ -98,12 +119,7 @@ func run() int {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(all); err != nil {
+		if err := writeJSON(os.Stdout, all); err != nil {
 			fmt.Fprintf(os.Stderr, "rtmvet: %v\n", err)
 			return 2
 		}

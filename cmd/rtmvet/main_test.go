@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtmlab/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/json.golden from current output")
+
+// TestJSONGolden pins the -json output: the field set {pass, kind,
+// file, line, col, message} and its encoding are a stable interface
+// for CI annotation tooling. On intentional schema changes, update
+// testdata/json.golden from the failure output.
+func TestJSONGolden(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	u, err := l.LoadUnit(filepath.Join("testdata", "src", "jsonfix"))
+	if err != nil {
+		t.Fatalf("LoadUnit: %v", err)
+	}
+	diags, err := analysis.RunUnit(u, analysis.Options{})
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("jsonfix fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "json.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("-json output differs from testdata/json.golden:\n--- got ---\n%s", buf.String())
+	}
+}

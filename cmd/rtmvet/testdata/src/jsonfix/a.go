@@ -1,0 +1,22 @@
+// Package jsonfix produces a small, stable finding set for the -json
+// golden test: one detnondet finding and one txnsafe captured-write
+// (whose kind slug differs from its pass name).
+//
+//rtmvet:deterministic
+package jsonfix
+
+import (
+	"time"
+
+	"rtmlab/internal/tm"
+)
+
+func atomically(body func(tm.Tx)) { body(nil) }
+
+func clock() int64 { return time.Now().UnixNano() }
+
+func bump(n *int) {
+	atomically(func(t tm.Tx) {
+		*n++
+	})
+}

@@ -44,12 +44,18 @@ func Passes() []*Pass {
 		{Name: "hotalloc", Doc: "forbid allocation and boxing in //rtm:hot functions", Run: runHotAlloc},
 		{Name: "obsguard", Doc: "require nil-check domination for *obs.Recorder calls", Run: runObsGuard},
 		{Name: "detseed", Doc: "forbid wall-clock/pid seeds for internal/rng generators", Run: runDetSeed},
+		{Name: "txnsafe", Doc: "forbid host-state side effects reachable from atomic-block closures", Run: runTxnSafe},
+		{Name: "shardfreeze", Doc: "forbid frozen-shared-state mutation from //rtm:midepoch functions", Run: runShardFreeze},
 	}
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. The JSON field set (pass, kind, file,
+// line, col, message) is a stable schema that CI annotation tooling
+// may depend on; Kind is a per-pass finding slug (passes with a single
+// finding shape use the pass name).
 type Diagnostic struct {
 	Pass    string `json:"pass"`
+	Kind    string `json:"kind"`
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
@@ -63,12 +69,20 @@ func (u *Unit) diag(pass string, pos token.Pos, format string, args ...any) Diag
 	p := u.Fset.Position(pos)
 	return Diagnostic{
 		Pass:    pass,
+		Kind:    pass,
 		File:    p.Filename,
 		Line:    p.Line,
 		Col:     p.Column,
 		Message: fmt.Sprintf(format, args...),
 		pos:     pos,
 	}
+}
+
+// diagKind is diag with an explicit finding-kind slug.
+func (u *Unit) diagKind(pass, kind string, pos token.Pos, format string, args ...any) Diagnostic {
+	d := u.diag(pass, pos, format, args...)
+	d.Kind = kind
+	return d
 }
 
 // Parent returns the syntactic parent of n within the unit.

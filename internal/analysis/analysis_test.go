@@ -50,7 +50,7 @@ type wantAt struct {
 
 var wantCommentRx = regexp.MustCompile("`([^`]+)`")
 
-// collectWants extracts `// want `rx`` comments, keyed by line.
+// collectWants extracts `// want `rx“ comments, keyed by line.
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []wantAt {
 	t.Helper()
 	var wants []wantAt
@@ -139,6 +139,123 @@ func TestDetSeedFixture(t *testing.T) {
 	diags := checkFixture(t, "detseed", Options{Passes: []string{"detseed"}})
 	if len(diags) == 0 {
 		t.Fatal("detseed fixture produced no findings; the pass is dead")
+	}
+}
+
+// TestEffectSummaries drives the summary engine directly over the
+// shapes the passes lean on: recursion (self and mutual), method
+// values, and interface dispatch widened over visible implementors.
+func TestEffectSummaries(t *testing.T) {
+	u := loadFixture(t, "effects")
+	sum := func(name string) *Summary {
+		t.Helper()
+		for _, fn := range funcDecls(u) {
+			if fn.decl.Name.Name == name {
+				s := u.SummaryForDecl(fn.decl)
+				if s == nil {
+					t.Fatalf("no summary for %s", name)
+				}
+				return s
+			}
+		}
+		t.Fatalf("no func %s in effects fixture", name)
+		return nil
+	}
+	if s := sum("pure"); s.Bits != 0 {
+		t.Errorf("pure: unexpected effects %b", s.Bits)
+	}
+	if s := sum("recurse"); s.Bits&EffWriteGlobal == 0 {
+		t.Error("recurse: global write lost through self-recursion")
+	}
+	if s := sum("even"); s.Bits&EffWriteGlobal == 0 {
+		t.Error("even: global write lost through mutual recursion")
+	}
+	if s := sum("methodValue"); s.Bits&EffWriteGlobal == 0 {
+		t.Error("methodValue: bound method's global write lost")
+	}
+	s := sum("dispatch")
+	if s.Bits&EffIO == 0 {
+		t.Error("dispatch: interface widening missed dirty.do's I/O")
+	}
+	if c := s.Cause(EffIO); c == nil || !strings.Contains(causeText(u.Fset, c), "do") {
+		t.Errorf("dispatch: cause chain does not name the dispatched method: %v", c)
+	}
+}
+
+// TestBuildTagFixture pins file selection: build tags gate analysis of
+// constrained files, and _test.go files are never analyzed under any
+// tag set.
+func TestBuildTagFixture(t *testing.T) {
+	// Default context: gated.go (behind the rtmvetfixture tag) and
+	// a_test.go are invisible, so only a.go's finding appears.
+	diags := checkFixture(t, "buildtag", Options{Passes: []string{"detnondet"}})
+	for _, d := range diags {
+		if strings.Contains(d.File, "gated.go") || strings.Contains(d.File, "_test.go") {
+			t.Errorf("default load analyzed excluded file: %s", d.File)
+		}
+	}
+	if len(diags) != 1 {
+		t.Errorf("default load: want 1 finding (a.go only), got %d", len(diags))
+	}
+
+	// Tagged loader (fresh: tags must be set before any load): gated.go
+	// joins the unit and brings its finding; a_test.go still does not.
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.SetBuildTags([]string{"rtmvetfixture"})
+	u, err := l.LoadUnit(filepath.Join("testdata", "src", "buildtag"))
+	if err != nil {
+		t.Fatalf("LoadUnit: %v", err)
+	}
+	tagged, err := RunUnit(u, Options{Passes: []string{"detnondet"}})
+	if err != nil {
+		t.Fatalf("RunUnit: %v", err)
+	}
+	gated := false
+	for _, d := range tagged {
+		if strings.Contains(d.File, "gated.go") {
+			gated = true
+		}
+		if strings.Contains(d.File, "_test.go") {
+			t.Errorf("tagged load analyzed a _test.go file: %s", d.File)
+		}
+	}
+	if !gated {
+		t.Error("tagged load did not analyze gated.go")
+	}
+	if len(tagged) != 2 {
+		t.Errorf("tagged load: want 2 findings (a.go + gated.go), got %d", len(tagged))
+	}
+}
+
+// TestTxnSafeFixture is the regression gate for the PR 6 yada bug: a
+// host-side counter bumped in a helper reached from an atomic body must
+// be reported, and the finding must carry the interprocedural chain
+// (atomic body -> helper -> write), not just the root line.
+func TestTxnSafeFixture(t *testing.T) {
+	diags := checkFixture(t, "txnsafe", Options{Passes: []string{"txnsafe"}})
+	if len(diags) == 0 {
+		t.Fatal("txnsafe fixture produced no findings; the pass is dead")
+	}
+	chain := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "call to addElem") && strings.Contains(d.Message, " -> ") {
+			chain = true
+		}
+	}
+	if !chain {
+		t.Error("no finding reports the interprocedural chain through addElem")
+	}
+}
+
+// TestShardFreezeFixture: mid-epoch helpers reaching boundary-only APIs
+// are reported at the annotated root with the offending call chain.
+func TestShardFreezeFixture(t *testing.T) {
+	diags := checkFixture(t, "shardfreeze", Options{Passes: []string{"shardfreeze"}})
+	if len(diags) == 0 {
+		t.Fatal("shardfreeze fixture produced no findings; the pass is dead")
 	}
 }
 
@@ -308,4 +425,6 @@ func ExamplePasses() {
 	// hotalloc
 	// obsguard
 	// detseed
+	// txnsafe
+	// shardfreeze
 }

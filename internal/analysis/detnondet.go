@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // detPackages are the module-relative packages whose behavior must be a
@@ -84,6 +85,22 @@ func runDetNonDet(u *Unit) []Diagnostic {
 			case isPkgFunc(obj, "runtime", "NumGoroutine", "Stack"):
 				diags = append(diags, u.diag(pass, call.Pos(),
 					"runtime.%s leaks goroutine identity into a deterministic package", obj.Name()))
+			default:
+				// Interprocedural: a module-internal helper outside the
+				// deterministic scope whose effect summary reaches a
+				// wall-clock or global-rand source taints this call site.
+				if f, sum := crossDetSummary(u, call); sum != nil {
+					if sum.Bits&EffTime != 0 {
+						diags = append(diags, u.diagKind(pass, "cross-package", call.Pos(),
+							"call to %s reaches a wall-clock source outside the deterministic scope: %s",
+							f.Name(), causeText(u.Fset, sum.Cause(EffTime))))
+					}
+					if sum.Bits&EffRand != 0 {
+						diags = append(diags, u.diagKind(pass, "cross-package", call.Pos(),
+							"call to %s reaches a global randomness source outside the deterministic scope: %s",
+							f.Name(), causeText(u.Fset, sum.Cause(EffRand))))
+					}
+				}
 			}
 			return true
 		})
@@ -94,9 +111,62 @@ func runDetNonDet(u *Unit) []Diagnostic {
 	return diags
 }
 
+// crossDetSummary returns the callee and effect summary of a call to a
+// module-internal function outside the deterministic scope (a helper
+// package such as runner or stats). It returns nil for stdlib calls
+// (the direct checks cover those), same-package calls (flagged at
+// their source), and calls into deterministic packages (vetted in
+// their own units — re-flagging them here would force suppression
+// cascades at every caller).
+func crossDetSummary(u *Unit, call *ast.CallExpr) (*types.Func, *Summary) {
+	f, ok := calleeObj(u.Info, call).(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg() == u.Pkg {
+		return nil, nil
+	}
+	path := f.Pkg().Path()
+	mp := u.Loader.ModulePath
+	if path != mp && !strings.HasPrefix(path, mp+"/") {
+		return nil, nil
+	}
+	for _, p := range detPackages {
+		if path == mp+"/"+p || strings.HasSuffix(path, "/"+p) {
+			return nil, nil
+		}
+	}
+	sum := u.SummaryForFunc(f)
+	if sum == nil {
+		return nil, nil
+	}
+	return f, sum
+}
+
+// envSummaryCall reports whether expr contains a call whose callee's
+// effect summary reads the process environment.
+func envSummaryCall(u *Unit, expr ast.Node) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, sum := crossDetSummary(u, call); sum != nil && sum.Bits&EffEnv != 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // envBranches flags branching on environment variables: os.Getenv /
 // os.LookupEnv called directly in an if/switch/for condition, or a local
-// variable assigned from one and later used in a condition.
+// variable assigned from one and later used in a condition. Through the
+// effect summaries the same taint crosses function boundaries: a helper
+// that returns a value derived from the environment taints the
+// variables it is assigned to and the conditions it appears in.
 func envBranches(u *Unit, pass string, body *ast.BlockStmt) []Diagnostic {
 	tainted := make(map[types.Object]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -107,6 +177,8 @@ func envBranches(u *Unit, pass string, body *ast.BlockStmt) []Diagnostic {
 		fromEnv := false
 		for _, rhs := range assign.Rhs {
 			if _, ok := containsCallTo(u.Info, rhs, "os", "Getenv", "LookupEnv"); ok {
+				fromEnv = true
+			} else if envSummaryCall(u, rhs) {
 				fromEnv = true
 			}
 		}
@@ -131,6 +203,9 @@ func envBranches(u *Unit, pass string, body *ast.BlockStmt) []Diagnostic {
 		}
 		if obj, ok := containsCallTo(u.Info, cond, "os", "Getenv", "LookupEnv"); ok {
 			_ = obj
+			return cond.Pos(), true
+		}
+		if envSummaryCall(u, cond) {
 			return cond.Pos(), true
 		}
 		var pos token.Pos

@@ -30,6 +30,8 @@ type Loader struct {
 	ctx    build.Context
 	goroot string
 	deps   map[string]*types.Package // import path -> dependency-checked package
+	units  map[string]*Unit          // import path -> fully loaded unit
+	eff    *effEngine                // shared effect-summary engine (lazy)
 }
 
 // NewLoader returns a loader rooted at the module containing dir.
@@ -51,7 +53,15 @@ func NewLoader(dir string) (*Loader, error) {
 		ctx:        ctx,
 		goroot:     runtime.GOROOT(),
 		deps:       make(map[string]*types.Package),
+		units:      make(map[string]*Unit),
 	}, nil
+}
+
+// SetBuildTags sets the build tags honored during file selection. It
+// must be called before any package is loaded; once files have been
+// parsed under one tag set, changing it would desynchronize the caches.
+func (l *Loader) SetBuildTags(tags []string) {
+	l.ctx.BuildTags = append([]string(nil), tags...)
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
@@ -209,6 +219,9 @@ func (l *Loader) LoadUnit(dir string) (*Unit, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 	}
 	path := l.pathFor(dir)
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
 	pkg, files, err := l.check(path, dir, info)
 	if err != nil {
 		return nil, err
@@ -216,7 +229,7 @@ func (l *Loader) LoadUnit(dir string) (*Unit, error) {
 	if _, ok := l.deps[path]; !ok {
 		l.deps[path] = pkg // reuse for later importers
 	}
-	return &Unit{
+	u := &Unit{
 		Loader: l,
 		Path:   path,
 		Dir:    dir,
@@ -224,7 +237,22 @@ func (l *Loader) LoadUnit(dir string) (*Unit, error) {
 		Files:  files,
 		Pkg:    pkg,
 		Info:   info,
-	}, nil
+	}
+	l.units[path] = u
+	return u, nil
+}
+
+// UnitFor loads (or returns the cached) unit for an import path. The
+// effect engine uses it to pull callee packages in on demand.
+func (l *Loader) UnitFor(path string) (*Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadUnit(dir)
 }
 
 // Expand resolves package patterns to directories. A pattern ending in

@@ -1,0 +1,12 @@
+// Package buildtag exercises build-constrained file selection: the
+// driver honors -tags during file selection and never analyzes
+// _test.go files.
+//
+//rtmvet:deterministic
+package buildtag
+
+import "time"
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}

@@ -1,0 +1,11 @@
+//go:build rtmvetfixture
+
+package buildtag
+
+import "time"
+
+// gatedClock is only part of the package when the rtmvetfixture tag is
+// set; its finding must appear exactly then.
+func gatedClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}

@@ -1,0 +1,29 @@
+// Package crosshelper is a module-internal package outside the
+// detnondet scope. The detnondet fixture calls into it to exercise the
+// interprocedural taint check: nondeterminism buried in an out-of-scope
+// helper must still be reported at the in-scope call site.
+package crosshelper
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the global math/rand stream.
+func Jitter() int { return rand.Intn(4) }
+
+// jitter2 hides the draw one frame deeper.
+func jitter2() int { return Jitter() }
+
+// JitterDeep reaches the global stream through a second frame.
+func JitterDeep() int { return jitter2() }
+
+// Flag reads the process environment.
+func Flag() bool { return os.Getenv("RTM_FLAG") != "" }
+
+// Pure is effect-free: calls to it must not be flagged.
+func Pure(a, b int) int { return a + b }

@@ -5,6 +5,8 @@ package detfix
 
 import (
 	"fmt"
+
+	"rtmlab/internal/analysis/testdata/src/crosshelper"
 	"math/rand"
 	"os"
 	"runtime"
@@ -115,4 +117,38 @@ func suppressedOK(m map[string]int) []string {
 		keys = append(keys, k)
 	}
 	return keys
+}
+
+// Interprocedural taint: nondeterminism buried in a module-internal
+// helper outside the deterministic scope is reported at the call site.
+
+func crossClock() int64 {
+	return crosshelper.Stamp() // want `reaches a wall-clock source outside the deterministic scope`
+}
+
+func crossRand() int {
+	return crosshelper.Jitter() // want `reaches a global randomness source`
+}
+
+func crossRandDeep() int {
+	return crosshelper.JitterDeep() // want `reaches a global randomness source`
+}
+
+func crossEnvBranch() string {
+	if crosshelper.Flag() { // want `branch depends on os.Getenv`
+		return "a"
+	}
+	return "b"
+}
+
+func crossEnvTaint() string {
+	mode := crosshelper.Flag()
+	if mode { // want `branch depends on os.Getenv`
+		return "a"
+	}
+	return "b"
+}
+
+func crossPureOK() int {
+	return crosshelper.Pure(1, 2)
 }

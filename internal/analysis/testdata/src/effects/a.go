@@ -1,0 +1,65 @@
+// Package effects exercises the effect-summary engine directly:
+// recursion (simple and mutual), method values, and interface dispatch
+// with conservative widening over the visible implementors.
+package effects
+
+import "os"
+
+var counter int
+
+// pure has no effects at all.
+func pure(a, b int) int { return a + b }
+
+// recurse terminates the fix-point on a self-cycle and still carries
+// the global write.
+func recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	counter++
+	return recurse(n - 1)
+}
+
+// even/odd form a mutual-recursion cycle; the write in odd must reach
+// even's summary.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		counter++
+		return false
+	}
+	return even(n - 1)
+}
+
+type box struct{ n int }
+
+func (b *box) bumpGlobal() { counter++ }
+
+// methodValue binds a method into a func value; the bound method's
+// effects must survive the indirection.
+func methodValue(b *box) {
+	f := b.bumpGlobal
+	f()
+}
+
+type doer interface{ do() }
+
+type clean struct{}
+
+func (clean) do() {}
+
+type dirty struct{}
+
+func (dirty) do() { os.Stdout.WriteString("x") }
+
+// dispatch is widened over both implementors: dirty's I/O must show up
+// even though the static type is the interface.
+func dispatch(d doer) {
+	d.do()
+}

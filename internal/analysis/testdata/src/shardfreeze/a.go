@@ -1,0 +1,71 @@
+// Package shardfix exercises the shardfreeze pass: //rtm:midepoch
+// functions run between epoch boundaries of the sharded engine and may
+// not touch frozen shared state; private-state mutation and the
+// ownership-delta API are the only legal channels.
+package shardfix
+
+import (
+	"fmt"
+	"rtmlab/internal/mem"
+)
+
+// epochStats is package-level shared state — frozen mid-epoch.
+var epochStats [8]uint64
+
+// core models a shard core's private state plus handles to shared
+// structures it must not drive mid-epoch.
+type core struct {
+	id    int
+	local []int64
+	h     *mem.Hierarchy
+	sink  mem.ShardSink
+}
+
+// note is the offending helper: it calls the classic Hierarchy entry
+// point, which drives the shared coherence state machine.
+func (c *core) note(addr uint64) {
+	v, _ := c.h.Load(c.id, addr)
+	c.local = append(c.local, v)
+}
+
+// readThrough reaches the boundary-only API two frames down.
+//
+//rtm:midepoch
+func (c *core) readThrough(addr uint64) {
+	c.note(addr) // want `epoch-boundary-only API.*call to core\.note.*coherence state machine`
+}
+
+// bumpGlobal mutates frozen package-level state mid-epoch.
+//
+//rtm:midepoch
+func (c *core) bumpGlobal() {
+	epochStats[c.id]++ // want `writes package-level state`
+}
+
+// chatty performs host I/O mid-epoch.
+//
+//rtm:midepoch
+func (c *core) chatty() {
+	fmt.Println(c.id) // want `performs I/O`
+}
+
+// okPrivate mutates only the core's own private state: legal by design.
+//
+//rtm:midepoch
+func (c *core) okPrivate(v int64) {
+	c.local = append(c.local, v)
+	c.id++
+}
+
+// okDelta routes a shared-state transition through the sanctioned
+// ownership-delta channel for boundary replay.
+//
+//rtm:midepoch
+func (c *core) okDelta(lineAddr uint64) {
+	c.sink.DeferMemDelta(mem.MDLoadShare, lineAddr)
+}
+
+// unannotated is not mid-epoch; the pass leaves it alone.
+func (c *core) unannotated(addr uint64) {
+	c.note(addr)
+}

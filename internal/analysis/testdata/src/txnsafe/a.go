@@ -1,0 +1,112 @@
+// Package txnfix exercises the txnsafe pass: atomic bodies (FuncLits
+// taking a tm.Tx) may only touch simulated state through the Txn API;
+// everything else re-executes on abort and corrupts host state.
+package txnfix
+
+import (
+	"fmt"
+	"rtmlab/internal/tm"
+)
+
+func atomically(body func(tm.Tx)) { body(nil) }
+
+// mesh is the pre-PR-6 yada shape: a host-side element counter bumped
+// from inside the transaction through a helper.
+type mesh struct {
+	elems int
+	arena []uint64
+}
+
+// addElem is the buggy helper: it mutates host state (m.elems, m.arena)
+// that a re-executed attempt would double-count.
+func addElem(m *mesh, addr uint64) {
+	m.elems++
+	m.arena = append(m.arena, addr)
+}
+
+// refine re-introduces the yada bug through an interprocedural chain:
+// the mutation lives in addElem, two frames below the atomic body.
+func refine(m *mesh, base uint64) {
+	atomically(func(t tm.Tx) {
+		v := t.Load(base)
+		t.Store(base, v+1)
+		addElem(m, base) // want `mutates captured m outside the Txn API.*call to addElem.*writes`
+	})
+}
+
+// refineDeep pushes the same bug one more frame down.
+func grow(m *mesh, addr uint64) { addElem(m, addr) }
+
+func refineDeep(m *mesh, base uint64) {
+	atomically(func(t tm.Tx) {
+		grow(m, base) // want `captured m outside the Txn API.*call to grow.*call to addElem`
+	})
+}
+
+// direct captured mutation, no call chain at all.
+func countDirect(n *int) {
+	atomically(func(t tm.Tx) {
+		*n += int(t.Load(0)) // want `non-idempotently mutates captured n`
+	})
+}
+
+// host effects inside the body.
+func chatty() {
+	atomically(func(t tm.Tx) {
+		fmt.Println(t.Load(0)) // want `performs I/O`
+	})
+}
+
+func spawns() {
+	atomically(func(t tm.Tx) {
+		go func() {}() // want `spawns a goroutine`
+	})
+}
+
+// indirect calls the engine cannot resolve are banned, not trusted.
+type hook struct{ fn func() }
+
+func indirect(h hook) {
+	atomically(func(t tm.Tx) {
+		h.fn() // want `cannot resolve`
+	})
+}
+
+// ok: pure Txn API use, locals, and local aggregates are all fine.
+func okBody(base uint64) {
+	atomically(func(t tm.Tx) {
+		sum := int64(0)
+		seen := make(map[uint64]bool)
+		for i := uint64(0); i < 4; i++ {
+			sum += t.Load(base + i)
+			seen[base+i] = true
+		}
+		if len(seen) > 0 {
+			t.Store(base, sum)
+		}
+	})
+}
+
+// ok: closure-result idiom — plain scalar rebinding of a captured local
+// is how atomic blocks return values.
+func okResult(base uint64) int64 {
+	var out int64
+	atomically(func(t tm.Tx) {
+		out = t.Load(base)
+	})
+	return out
+}
+
+// logCommit is escape-hatched: the caller promises it runs at most once
+// per committed transaction.
+//
+//rtm:oncommit
+func logCommit(m *mesh) { m.elems++ }
+
+// ok: //rtm:oncommit cuts propagation into the helper.
+func okOnCommit(m *mesh, base uint64) {
+	atomically(func(t tm.Tx) {
+		t.Store(base, 1)
+		logCommit(m)
+	})
+}

@@ -172,6 +172,7 @@ func (m *Memory) NewView() *View { return &View{m: m} }
 // Read returns the word stored at addr (0 for untouched pages).
 //
 //rtm:hot
+//rtm:midepoch
 func (v *View) Read(addr uint64) int64 {
 	pn := addr >> pageShift
 	if p := v.lastPage; p != nil && pn == v.lastPN {
@@ -206,6 +207,7 @@ func (v *View) Read(addr uint64) int64 {
 // contract) and their recorder events are buffered through sink.
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
 	la := LineAddr(addr)
 	if h.l1[core].lookup(la) != nil {
@@ -222,7 +224,7 @@ func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSin
 		stats.L1Accesses++
 		stats.L2Accesses++
 		stats.L2Hits++
-		h.localFillL1(core, la, stats, sink)
+		h.localFillL1(core, la, stats, sink) //rtmvet:ignore Hooks.OnL1Evict is shard-safe by contract (see Hooks doc); rtmvet cannot see through the func field
 		return h.cfg.Lat.L2Hit, true
 	}
 	s := h.shard
@@ -270,6 +272,7 @@ func (h *Hierarchy) LocalLoad(core int, addr uint64, stats *Stats, sink ShardSin
 // for buffering the value (the backing store is frozen mid-epoch).
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) LocalStore(core int, addr uint64, stats *Stats, sink ShardSink) (uint64, bool) {
 	la := LineAddr(addr)
 	l1 := h.l1[core].lookup(la) != nil
@@ -300,7 +303,7 @@ func (h *Hierarchy) LocalStore(core int, addr uint64, stats *Stats, sink ShardSi
 		} else {
 			stats.L2Accesses++
 			stats.L2Hits++
-			h.localFillL1(core, la, stats, sink)
+			h.localFillL1(core, la, stats, sink) //rtmvet:ignore Hooks.OnL1Evict is shard-safe by contract (see Hooks doc); rtmvet cannot see through the func field
 			cost = h.cfg.Lat.L2Hit
 		}
 		if claim && s.claimed[core].Add(la) {
@@ -347,6 +350,7 @@ func (h *Hierarchy) LocalStore(core int, addr uint64, stats *Stats, sink ShardSi
 // nil — the L2-ablation hook is not shard-safe.
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) localFillL2(core int, la uint64, stats *Stats, sink ShardSink) {
 	victim, evicted, _ := h.l2[core].insert(la)
 	if !evicted {
@@ -359,7 +363,7 @@ func (h *Hierarchy) localFillL2(core int, la uint64, stats *Stats, sink ShardSin
 			sink.DeferMemEvent(core, obs.KL1Evict, victim)
 		}
 		if h.Hooks.OnL1Evict != nil {
-			h.Hooks.OnL1Evict(core, victim)
+			h.Hooks.OnL1Evict(core, victim) //rtmvet:ignore Hooks.OnL1Evict is shard-safe by contract (see Hooks doc); rtmvet cannot see through the func field
 		}
 	}
 	if h.Rec != nil {
@@ -375,6 +379,8 @@ func (h *Hierarchy) localFillL2(core int, la uint64, stats *Stats, sink ShardSin
 
 // localFillL1 is fillL1 for the shard-local path: stats go to the
 // per-thread staging struct and recorder traffic through the sink.
+//
+//rtm:midepoch
 func (h *Hierarchy) localFillL1(core int, la uint64, stats *Stats, sink ShardSink) {
 	victim, evicted, _ := h.l1[core].insert(la)
 	if !evicted {
@@ -385,7 +391,7 @@ func (h *Hierarchy) localFillL1(core int, la uint64, stats *Stats, sink ShardSin
 		sink.DeferMemEvent(core, obs.KL1Evict, victim)
 	}
 	if h.Hooks.OnL1Evict != nil {
-		h.Hooks.OnL1Evict(core, victim)
+		h.Hooks.OnL1Evict(core, victim) //rtmvet:ignore Hooks.OnL1Evict is shard-safe by contract (see Hooks doc); rtmvet cannot see through the func field
 	}
 }
 
@@ -394,6 +400,8 @@ func (h *Hierarchy) localFillL1(core int, la uint64, stats *Stats, sink ShardSin
 // because a core's private caches are single-owner state in shard mode.
 // The HTM layer uses it when a local abort invalidates speculative
 // lines; the directory-owner clear is deferred to the boundary.
+//
+//rtm:midepoch
 func (h *Hierarchy) DropPrivate(core int, la uint64) {
 	h.l1[core].drop(la)
 	h.l2[core].drop(la)
@@ -404,6 +412,7 @@ func (h *Hierarchy) DropPrivate(core int, la uint64) {
 // the directory is frozen mid-epoch.
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) DirOwner(la uint64) int {
 	if dir := h.l3.peekLine(la); dir != nil {
 		return int(dir.owner)
@@ -416,6 +425,7 @@ func (h *Hierarchy) DirOwner(la uint64) int {
 // owner. Peek-only — safe mid-epoch.
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) DirPrivate(core int, la uint64) bool {
 	dir := h.l3.peekLine(la)
 	return dir != nil && dir.sharers == bit(core) &&
@@ -427,6 +437,7 @@ func (h *Hierarchy) DirPrivate(core int, la uint64) bool {
 // Peek-only — safe mid-epoch.
 //
 //rtm:hot
+//rtm:midepoch
 func (h *Hierarchy) DirExclusive(core int, la uint64) bool {
 	dir := h.l3.peekLine(la)
 	return dir != nil && int(dir.owner) == core && dir.sharers == bit(core)

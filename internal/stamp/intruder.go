@@ -187,7 +187,7 @@ func (b *Intruder) reassemble(c *tm.Ctx, pk uint64, tid int, found *[]int64, pro
 		t.Store(rec+flGot*arch.WordSize, got)
 		if got == nFrags {
 			b.flows.Delete(t, c, flowID)
-			b.decoded.Push(t, c, int64(rec))
+			b.decoded.Push(t, c, int64(rec)) //rtmvet:ignore grow allocates from the deterministic simulated allocator; a regrow re-executed after abort wastes arena words but stays correct and deterministic
 		}
 	})
 

@@ -171,8 +171,8 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 					frontier = next
 				}
 				if idNext+int64(len(cavity)) > idEnd {
-					grew[tid] = true
-					return // growth bound: this thread's id region is full
+					grew[tid] = true //rtmvet:ignore idempotent per-thread flag slot; re-setting true on a re-executed attempt is harmless
+					return           // growth bound: this thread's id region is full
 				}
 				// Boundary = alive neighbours of the cavity outside it.
 				var boundary []int64
@@ -216,7 +216,7 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 						y.rewire(t, boundary[k], nid)
 					}
 					isBad := int64(0)
-					if c.P.Rng.Float64() < newBadProb {
+					if c.P.Rng.Float64() < newBadProb { //rtmvet:ignore per-attempt rng draw, as in STAMP yada; stays deterministic because retries are scheduler-deterministic
 						isBad = 1
 					}
 					t.Store(rec+eBad*arch.WordSize, isBad)
@@ -229,7 +229,7 @@ func (y *Yada) Parallel(sys *tm.System, threads int, seed uint64) {
 						t.Store(rec+uint64(eNbr0+j)*arch.WordSize, v)
 					}
 					if isBad == 1 {
-						y.workHeap.Push(t, c, nid, nid)
+						y.workHeap.Push(t, c, nid, nid) //rtmvet:ignore grow allocates from the deterministic simulated allocator; a regrow re-executed after abort wastes arena words but stays correct and deterministic
 					}
 				}
 				allocated = int64(nNew)

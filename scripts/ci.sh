@@ -15,6 +15,14 @@ echo "== rtmvet (project invariants) =="
 # deterministic RNG seeding. See scripts/lint.sh for local runs.
 go run ./cmd/rtmvet ./...
 
+echo "== rtmvet transaction-safety gate (txnsafe + shardfreeze) =="
+# The interprocedural passes get their own named step so a transaction-
+# safety regression — host state mutated from an atomic body, frozen
+# shared state touched mid-epoch — is identifiable at a glance in CI
+# output. The full run above already includes them; this re-run is
+# cheap (the effect-summary engine is cached per load) and explicit.
+go run ./cmd/rtmvet -passes txnsafe,shardfreeze ./...
+
 echo "== go build =="
 go build ./...
 

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Static analysis for local development: go vet plus the project's own
 # rtmvet passes (determinism, hot-path allocation, recorder guards,
-# deterministic seeding). Arguments are package patterns; defaults to
+# deterministic seeding, transaction safety, mid-epoch freeze safety). Arguments are package patterns; defaults to
 # the whole module. Examples:
 #
 #   scripts/lint.sh                      # everything
@@ -24,5 +24,9 @@ go vet ./...
 for pkg in ./internal/stm ./internal/tm ./internal/lineset; do
     go doc "$pkg" > /dev/null
 done
+
+# Transaction-safety gate: run the interprocedural passes explicitly so
+# they fire even when the caller narrows "$@" with -passes.
+go run ./cmd/rtmvet -passes txnsafe,shardfreeze ./...
 
 exec go run ./cmd/rtmvet "$@"
